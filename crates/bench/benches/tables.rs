@@ -1,0 +1,140 @@
+//! Criterion benchmarks: one group per table/figure of the paper plus two
+//! ablations (discretization granularity and capacity scaling).
+//!
+//! The groups measure the computations that regenerate each experiment:
+//!
+//! * `table3` / `table4` — single-battery validation rows (analytic +
+//!   discretized lifetime) for B1 and B2;
+//! * `table5` — two-battery policy simulations at the paper grid and the
+//!   optimal search at the coarse grid;
+//! * `figure6` — trace generation for the `ILs alt` load;
+//! * `ablation_discretization` — discrete lifetime at several grid sizes;
+//! * `capacity_scaling` — deterministic policies on a 10× larger battery
+//!   (the remark at the end of Section 6).
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::{BestAvailable, RoundRobin, Sequential};
+use battery_sched::report::validation_row;
+use battery_sched::system::{simulate_policy_on, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dkibam::sim::simulate_lifetime;
+use dkibam::{DiscretizedLoad, Discretization};
+use kibam::BatteryParams;
+use std::hint::black_box;
+use workload::paper_loads::TestLoad;
+
+fn bench_table3(c: &mut Criterion) {
+    let params = BatteryParams::itsy_b1();
+    let disc = Discretization::paper_default();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for load in [TestLoad::Cl500, TestLoad::Ils250, TestLoad::IlsAlt] {
+        group.bench_function(load.name(), |b| {
+            b.iter(|| validation_row(black_box(load), &params, &disc).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let params = BatteryParams::itsy_b2();
+    let disc = Discretization::paper_default();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for load in [TestLoad::Cl250, TestLoad::Ill500] {
+        group.bench_function(load.name(), |b| {
+            b.iter(|| validation_row(black_box(load), &params, &disc).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let config = SystemConfig::paper_two_b1();
+    let coarse = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2).unwrap();
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt] {
+        let discretized = config.discretize(&load.profile()).unwrap();
+        group.bench_function(format!("{} sequential", load.name()), |b| {
+            b.iter(|| simulate_policy_on(&config, &discretized, &mut Sequential::new()).unwrap())
+        });
+        group.bench_function(format!("{} round robin", load.name()), |b| {
+            b.iter(|| simulate_policy_on(&config, &discretized, &mut RoundRobin::new()).unwrap())
+        });
+        group.bench_function(format!("{} best of two", load.name()), |b| {
+            b.iter(|| simulate_policy_on(&config, &discretized, &mut BestAvailable::new()).unwrap())
+        });
+        let coarse_load = coarse.discretize(&load.profile()).unwrap();
+        group.bench_function(format!("{} optimal (coarse)", load.name()), |b| {
+            b.iter(|| OptimalScheduler::new().find_optimal_on(&coarse, &coarse_load).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure6(c: &mut Criterion) {
+    let config = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2)
+        .unwrap()
+        .with_sampling(2);
+    let discretized = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
+    let mut group = c.benchmark_group("figure6");
+    group.sample_size(10);
+    group.bench_function("best-of-two trace", |b| {
+        b.iter(|| simulate_policy_on(&config, &discretized, &mut BestAvailable::new()).unwrap())
+    });
+    group.bench_function("optimal schedule + trace", |b| {
+        b.iter(|| {
+            let optimal = OptimalScheduler::new().find_optimal_on(&config, &discretized).unwrap();
+            simulate_policy_on(
+                &config,
+                &discretized,
+                &mut battery_sched::policy::FixedSchedule::new(optimal.decisions),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablation_discretization(c: &mut Criterion) {
+    let params = BatteryParams::itsy_b1();
+    let mut group = c.benchmark_group("ablation_discretization");
+    group.sample_size(10);
+    for (label, time_step, charge_unit) in
+        [("T=0.01", 0.01, 0.01), ("T=0.02", 0.02, 0.02), ("T=0.05", 0.05, 0.05)]
+    {
+        let disc = Discretization::new(time_step, charge_unit).unwrap();
+        let load =
+            DiscretizedLoad::from_profile(&TestLoad::Cl250.profile(), &disc, 11.0).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| simulate_lifetime(&params, &disc, black_box(&load)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity_scaling(c: &mut Criterion) {
+    // Section 6: with a ten times larger capacity the residual-charge
+    // fraction drops below 10 % for best-of-two scheduling.
+    let big = BatteryParams::itsy_b1().with_capacity(55.0).unwrap();
+    let config = SystemConfig::new(big, Discretization::paper_default(), 2).unwrap();
+    let discretized = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
+    let mut group = c.benchmark_group("capacity_scaling");
+    group.sample_size(10);
+    group.bench_function("10x capacity best-of-two", |b| {
+        b.iter(|| simulate_policy_on(&config, &discretized, &mut BestAvailable::new()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_figure6,
+    bench_ablation_discretization,
+    bench_capacity_scaling
+);
+criterion_main!(benches);

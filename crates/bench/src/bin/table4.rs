@@ -1,0 +1,23 @@
+//! Regenerates Table 4 of the paper: lifetime of battery B2 under the ten
+//! test loads, analytical KiBaM vs. discretized (TA-)KiBaM.
+
+use battery_sched::report::validation_row;
+use bench::{format_validation_row, validation_header};
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use workload::paper_loads::TestLoad;
+
+fn main() {
+    println!("Table 4 — battery B2 (11 A·min), T = 0.01 min, Γ = 0.01 A·min");
+    println!("{}", validation_header());
+    let params = BatteryParams::itsy_b2();
+    let disc = Discretization::paper_default();
+    for load in TestLoad::all() {
+        match validation_row(load, &params, &disc) {
+            Ok(row) => println!("{}", format_validation_row(&row)),
+            Err(error) => eprintln!("{load}: {error}"),
+        }
+    }
+    println!("\nNote: ILs r1 / ILs r2 use seeded random job sequences; the paper's exact");
+    println!("sequences are not published, so their absolute values differ (see EXPERIMENTS.md).");
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table 5 of the paper: two-battery (2 × B1) system lifetime
+//! under sequential, round-robin, best-of-two and optimal scheduling.
+//!
+//! By default the optimal schedule is computed on a coarser grid
+//! (T = Γ = 0.05) so the exact search finishes quickly for all ten loads;
+//! pass `--full` to run the optimal search at the paper's discretization
+//! (slow), or `--no-optimal` to skip it entirely.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::report::table5_row;
+use battery_sched::system::SystemConfig;
+use bench::{format_table5_row, table5_header};
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use workload::paper_loads::TestLoad;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let skip_optimal = args.iter().any(|a| a == "--no-optimal");
+
+    let deterministic_config = SystemConfig::paper_two_b1();
+    let optimal_disc = if full { Discretization::paper_default() } else { Discretization::coarse() };
+    let optimal_config =
+        SystemConfig::new(BatteryParams::itsy_b1(), optimal_disc, 2).expect("two batteries");
+    let scheduler = OptimalScheduler::new();
+
+    println!("Table 5 — 2 x B1, lifetimes in minutes (difference relative to round robin)");
+    if !skip_optimal && !full {
+        println!("(optimal schedule computed at the coarser T = Γ = 0.05 grid; use --full for the paper grid)");
+    }
+    println!("{}", table5_header());
+    for load in TestLoad::all() {
+        // Deterministic policies at the paper's discretization.
+        let mut row = match table5_row(load, &deterministic_config, None) {
+            Ok(row) => row,
+            Err(error) => {
+                eprintln!("{load}: {error}");
+                continue;
+            }
+        };
+        if !skip_optimal {
+            match table5_row(load, &optimal_config, Some(&scheduler)) {
+                Ok(optimal_row) => row.optimal_minutes = optimal_row.optimal_minutes,
+                Err(error) => eprintln!("{load}: optimal search failed: {error}"),
+            }
+        }
+        println!("{}", format_table5_row(&row));
+    }
+}

@@ -1,0 +1,99 @@
+//! Reproduction harness for the evaluation of *"Maximizing System Lifetime
+//! by Battery Scheduling"* (DSN 2009).
+//!
+//! The binaries in this crate regenerate the paper's tables and figure:
+//!
+//! * `table3` — single-battery validation on B1 (analytic vs. discretized);
+//! * `table4` — single-battery validation on B2;
+//! * `table5` — two-battery system lifetimes for the four schedules;
+//! * `figure6` — charge-evolution traces (CSV) for best-of-two vs. optimal
+//!   on the `ILs alt` load.
+//!
+//! The Criterion benches in `benches/` measure the cost of the computations
+//! behind each table/figure plus two ablations (discretization granularity
+//! and capacity scaling).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use battery_sched::report::{Table5Row, ValidationRow};
+
+/// Formats a Table 3/4 row like the paper: load, analytic lifetime,
+/// discretized lifetime and relative difference in percent.
+#[must_use]
+pub fn format_validation_row(row: &ValidationRow) -> String {
+    format!(
+        "{:<8}  {:>8.2}  {:>9.2}  {:>6.2}%   (paper: {:>6.2})",
+        row.load,
+        row.analytic_minutes,
+        row.discrete_minutes,
+        row.difference_percent,
+        row.paper_analytic_minutes
+    )
+}
+
+/// Header matching [`format_validation_row`].
+#[must_use]
+pub fn validation_header() -> String {
+    format!(
+        "{:<8}  {:>8}  {:>9}  {:>7}   {}",
+        "load", "KiBaM", "dKiBaM", "diff", "(paper analytic value)"
+    )
+}
+
+/// Formats a Table 5 row: the four lifetimes plus the differences relative
+/// to round robin, as in the paper.
+#[must_use]
+pub fn format_table5_row(row: &Table5Row) -> String {
+    let optimal = row
+        .optimal_minutes
+        .map(|o| format!("{o:>7.2} ({:>+6.1}%)", row.relative_to_round_robin(o)))
+        .unwrap_or_else(|| format!("{:>7}", "-"));
+    format!(
+        "{:<8}  {:>7.2} ({:>+6.1}%)  {:>7.2}  {:>7.2} ({:>+6.1}%)  {}   [paper: {:.2}/{:.2}/{:.2}/{:.2}]",
+        row.load,
+        row.sequential_minutes,
+        row.relative_to_round_robin(row.sequential_minutes),
+        row.round_robin_minutes,
+        row.best_of_two_minutes,
+        row.relative_to_round_robin(row.best_of_two_minutes),
+        optimal,
+        row.paper_minutes.0,
+        row.paper_minutes.1,
+        row.paper_minutes.2,
+        row.paper_minutes.3,
+    )
+}
+
+/// Header matching [`format_table5_row`].
+#[must_use]
+pub fn table5_header() -> String {
+    format!(
+        "{:<8}  {:>17}  {:>7}  {:>17}  {:>17}",
+        "load", "sequential", "rr", "best-of-two", "optimal"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use battery_sched::report::validation_row;
+    use dkibam::Discretization;
+    use kibam::BatteryParams;
+    use workload::paper_loads::TestLoad;
+
+    #[test]
+    fn formatting_contains_the_load_name_and_values() {
+        let row = validation_row(
+            TestLoad::Cl500,
+            &BatteryParams::itsy_b1(),
+            &Discretization::paper_default(),
+        )
+        .unwrap();
+        let line = format_validation_row(&row);
+        assert!(line.contains("CL 500"));
+        assert!(line.contains("2.0"));
+        assert!(validation_header().contains("KiBaM"));
+        assert!(table5_header().contains("best-of-two"));
+    }
+}

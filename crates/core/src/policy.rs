@@ -1,0 +1,303 @@
+//! The scheduling policies compared in the paper (Section 6).
+//!
+//! A policy is consulted at every *scheduling point*: the start of each job
+//! and, additionally, whenever the battery serving a job is observed empty
+//! and the remainder of the job must be continued on another battery.
+
+use dkibam::{DiscreteBattery, Discretization};
+use kibam::BatteryParams;
+
+/// Everything a policy may inspect when making a decision.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// The index of the job being scheduled (0-based, counting only jobs).
+    pub job_index: usize,
+    /// `true` when this decision continues a job whose previous battery was
+    /// observed empty; `false` at the start of a fresh job.
+    pub continuation: bool,
+    /// Indices of the batteries that are currently able to serve the job.
+    pub available: &'a [usize],
+    /// The states of *all* batteries (including empty ones), by index.
+    pub batteries: &'a [DiscreteBattery],
+    /// The (shared) battery parameters.
+    pub params: &'a BatteryParams,
+    /// The discretization in use.
+    pub disc: &'a Discretization,
+}
+
+/// A battery-selection policy.
+///
+/// Implementations may keep internal state (e.g. the round-robin cursor);
+/// [`reset`](SchedulingPolicy::reset) returns them to their initial state so
+/// the same instance can be reused across simulations.
+pub trait SchedulingPolicy {
+    /// A short human-readable name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Chooses a battery for the next job (portion). Returning `None`
+    /// signals that the policy declines to schedule, which ends the
+    /// simulation; built-in policies only return `None` when
+    /// `ctx.available` is empty.
+    fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize>;
+
+    /// Resets any internal state.
+    fn reset(&mut self);
+}
+
+/// The *sequential* schedule: batteries are used one after the other; the
+/// next battery is only used once the current one is empty. The paper shows
+/// this is the worst possible schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl Sequential {
+    /// Creates the sequential policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SchedulingPolicy for Sequential {
+    fn name(&self) -> &str {
+        "sequential"
+    }
+
+    fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize> {
+        ctx.available.iter().min().copied()
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// The *round robin* schedule: every new job is assigned to the next battery
+/// in a fixed cyclic order (continuations go to the next available battery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Creates the round-robin policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SchedulingPolicy for RoundRobin {
+    fn name(&self) -> &str {
+        "round robin"
+    }
+
+    fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize> {
+        if ctx.available.is_empty() {
+            return None;
+        }
+        let count = ctx.batteries.len();
+        let preferred = ctx.job_index % count;
+        // Pick the preferred battery of this job if it can serve, otherwise
+        // the next available one in cyclic order.
+        (0..count)
+            .map(|offset| (preferred + offset) % count)
+            .find(|candidate| ctx.available.contains(candidate))
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// The *best-of-two* schedule (generalised to any number of batteries): at
+/// every scheduling point the battery with the most charge in its
+/// available-charge well is chosen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BestAvailable;
+
+impl BestAvailable {
+    /// Creates the best-available-charge policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SchedulingPolicy for BestAvailable {
+    fn name(&self) -> &str {
+        "best of two"
+    }
+
+    fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize> {
+        ctx.available
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let charge_a = ctx.batteries[a].available_charge(ctx.params, ctx.disc);
+                let charge_b = ctx.batteries[b].available_charge(ctx.params, ctx.disc);
+                charge_a
+                    .partial_cmp(&charge_b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Ties go to the lower index, as a deterministic choice.
+                    .then(b.cmp(&a))
+            })
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Replays an explicit list of decisions — one battery index per scheduling
+/// point — e.g. an optimal schedule produced by
+/// [`crate::optimal::OptimalScheduler`].
+///
+/// If the list is exhausted, or the recorded battery cannot serve, the
+/// lowest-indexed available battery is used instead, so the policy is always
+/// total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FixedSchedule {
+    decisions: Vec<usize>,
+    cursor: usize,
+}
+
+impl FixedSchedule {
+    /// Creates a fixed schedule from the decisions in scheduling-point order.
+    #[must_use]
+    pub fn new(decisions: Vec<usize>) -> Self {
+        Self { decisions, cursor: 0 }
+    }
+
+    /// The recorded decisions.
+    #[must_use]
+    pub fn decisions(&self) -> &[usize] {
+        &self.decisions
+    }
+}
+
+impl SchedulingPolicy for FixedSchedule {
+    fn name(&self) -> &str {
+        "fixed schedule"
+    }
+
+    fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize> {
+        let recorded = self.decisions.get(self.cursor).copied();
+        self.cursor += 1;
+        match recorded {
+            Some(battery) if ctx.available.contains(&battery) => Some(battery),
+            _ => ctx.available.iter().min().copied(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context<'a>(
+        job_index: usize,
+        available: &'a [usize],
+        batteries: &'a [DiscreteBattery],
+        params: &'a BatteryParams,
+        disc: &'a Discretization,
+    ) -> DecisionContext<'a> {
+        DecisionContext { job_index, continuation: false, available, batteries, params, disc }
+    }
+
+    fn fixtures() -> (BatteryParams, Discretization) {
+        (BatteryParams::itsy_b1(), Discretization::paper_default())
+    }
+
+    #[test]
+    fn sequential_always_picks_lowest_available() {
+        let (params, disc) = fixtures();
+        let batteries = vec![DiscreteBattery::full(&params, &disc); 3];
+        let mut policy = Sequential::new();
+        let ctx = context(5, &[0, 1, 2], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(0));
+        let ctx = context(6, &[1, 2], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(1));
+        let ctx = context(7, &[], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), None);
+    }
+
+    #[test]
+    fn round_robin_cycles_with_job_index() {
+        let (params, disc) = fixtures();
+        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let mut policy = RoundRobin::new();
+        let available = [0, 1];
+        for job in 0..6 {
+            let ctx = context(job, &available, &batteries, &params, &disc);
+            assert_eq!(policy.choose(&ctx), Some(job % 2));
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_unavailable_batteries() {
+        let (params, disc) = fixtures();
+        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let mut policy = RoundRobin::new();
+        // Job 1 would prefer battery 1, but only battery 0 is available.
+        let ctx = context(1, &[0], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(0));
+        let ctx = context(1, &[], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), None);
+    }
+
+    #[test]
+    fn best_available_prefers_fuller_available_charge_well() {
+        let (params, disc) = fixtures();
+        // Battery 0 has less available charge (larger height difference).
+        let batteries =
+            vec![DiscreteBattery::from_units(400, 80), DiscreteBattery::from_units(380, 10)];
+        let mut policy = BestAvailable::new();
+        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(1));
+    }
+
+    #[test]
+    fn best_available_breaks_ties_towards_lower_index() {
+        let (params, disc) = fixtures();
+        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let mut policy = BestAvailable::new();
+        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(0));
+    }
+
+    #[test]
+    fn fixed_schedule_replays_then_falls_back() {
+        let (params, disc) = fixtures();
+        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let mut policy = FixedSchedule::new(vec![1, 0]);
+        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(1));
+        let ctx = context(1, &[0, 1], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(0));
+        // Recorded list exhausted: fall back to the lowest available.
+        let ctx = context(2, &[1], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(1));
+        // Reset rewinds the replay.
+        policy.reset();
+        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(1));
+    }
+
+    #[test]
+    fn fixed_schedule_ignores_unavailable_recorded_battery() {
+        let (params, disc) = fixtures();
+        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let mut policy = FixedSchedule::new(vec![1]);
+        let ctx = context(0, &[0], &batteries, &params, &disc);
+        assert_eq!(policy.choose(&ctx), Some(0));
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names = [
+            Sequential::new().name().to_owned(),
+            RoundRobin::new().name().to_owned(),
+            BestAvailable::new().name().to_owned(),
+            FixedSchedule::new(vec![]).name().to_owned(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! Reporting helpers that regenerate the rows of the paper's tables.
+//!
+//! These functions are shared by the benchmark harness (`crates/bench`), the
+//! examples and the integration tests, so that every consumer prints exactly
+//! the same quantities the paper reports.
+
+use crate::optimal::OptimalScheduler;
+use crate::policy::{BestAvailable, RoundRobin, Sequential};
+use crate::system::{simulate_policy, SystemConfig};
+use crate::SchedError;
+use dkibam::sim::simulate_lifetime;
+use dkibam::{DiscretizedLoad, Discretization};
+use kibam::lifetime::lifetime_for_segments;
+use kibam::BatteryParams;
+use workload::paper_loads::TestLoad;
+
+/// One row of Table 3 / Table 4: analytical KiBaM vs. discretized (TA-)KiBaM
+/// lifetime for a single battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// The load name as printed in the paper.
+    pub load: String,
+    /// Lifetime according to the analytical KiBaM, in minutes.
+    pub analytic_minutes: f64,
+    /// Lifetime according to the discretized KiBaM, in minutes.
+    pub discrete_minutes: f64,
+    /// Relative difference in percent (discrete vs. analytic).
+    pub difference_percent: f64,
+    /// The value the paper reports for the analytical KiBaM (for reference;
+    /// random loads differ because their job sequences are seed-dependent).
+    pub paper_analytic_minutes: f64,
+}
+
+/// Computes one row of Table 3 (battery B1) or Table 4 (battery B2).
+///
+/// # Errors
+///
+/// Propagates discretization/simulation errors.
+pub fn validation_row(
+    load: TestLoad,
+    params: &BatteryParams,
+    disc: &Discretization,
+) -> Result<ValidationRow, SchedError> {
+    let profile = load.profile();
+    let analytic = lifetime_for_segments(params, profile.segments())
+        .expect("paper loads empty a single battery")
+        .lifetime;
+    let horizon = 2.0 * params.capacity();
+    let discretized = DiscretizedLoad::from_profile(&profile, disc, horizon)?;
+    let discrete = simulate_lifetime(params, disc, &discretized)?
+        .lifetime_minutes
+        .expect("paper loads empty a single battery");
+    let paper = if (params.capacity() - kibam::BatteryParams::itsy_b2().capacity()).abs() < 1e-9 {
+        load.paper_lifetime_b2()
+    } else {
+        load.paper_lifetime_b1()
+    };
+    Ok(ValidationRow {
+        load: load.name().to_owned(),
+        analytic_minutes: analytic,
+        discrete_minutes: discrete,
+        difference_percent: 100.0 * (discrete - analytic) / analytic,
+        paper_analytic_minutes: paper,
+    })
+}
+
+/// One row of Table 5: the system lifetime of the four schedules on one load,
+/// with differences relative to round robin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// The load name as printed in the paper.
+    pub load: String,
+    /// Sequential schedule lifetime (minutes).
+    pub sequential_minutes: f64,
+    /// Round-robin schedule lifetime (minutes).
+    pub round_robin_minutes: f64,
+    /// Best-of-two schedule lifetime (minutes).
+    pub best_of_two_minutes: f64,
+    /// Optimal schedule lifetime (minutes), when the optimal search was run.
+    pub optimal_minutes: Option<f64>,
+    /// The paper's reported values `(sequential, rr, best-of-two, optimal)`.
+    pub paper_minutes: (f64, f64, f64, f64),
+}
+
+impl Table5Row {
+    /// Percentage difference of a value relative to the round-robin lifetime,
+    /// as printed in Table 5.
+    #[must_use]
+    pub fn relative_to_round_robin(&self, minutes: f64) -> f64 {
+        100.0 * (minutes - self.round_robin_minutes) / self.round_robin_minutes
+    }
+}
+
+/// Computes one row of Table 5 for the given system configuration.
+///
+/// The optimal schedule is only computed when `optimal` is provided (the
+/// exact search can be expensive at the paper's full discretization).
+///
+/// # Errors
+///
+/// Propagates simulation and search errors.
+pub fn table5_row(
+    load: TestLoad,
+    config: &SystemConfig,
+    optimal: Option<&OptimalScheduler>,
+) -> Result<Table5Row, SchedError> {
+    let profile = load.profile();
+    let discretized = config.discretize(&profile)?;
+    let lifetime = |policy: &mut dyn crate::policy::SchedulingPolicy| -> Result<f64, SchedError> {
+        Ok(crate::system::simulate_policy_on(config, &discretized, policy)?
+            .lifetime_minutes()
+            .expect("paper loads exhaust the batteries"))
+    };
+    let sequential_minutes = lifetime(&mut Sequential::new())?;
+    let round_robin_minutes = lifetime(&mut RoundRobin::new())?;
+    let best_of_two_minutes = lifetime(&mut BestAvailable::new())?;
+    let optimal_minutes = match optimal {
+        Some(scheduler) => {
+            Some(scheduler.find_optimal_on(config, &discretized)?.lifetime_minutes(config))
+        }
+        None => None,
+    };
+    Ok(Table5Row {
+        load: load.name().to_owned(),
+        sequential_minutes,
+        round_robin_minutes,
+        best_of_two_minutes,
+        optimal_minutes,
+        paper_minutes: load.paper_table5(),
+    })
+}
+
+/// Convenience wrapper running [`simulate_policy`] for all three
+/// deterministic policies and returning `(sequential, round robin,
+/// best-of-two)` lifetimes in minutes.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn deterministic_lifetimes(
+    config: &SystemConfig,
+    load: &workload::LoadProfile,
+) -> Result<(f64, f64, f64), SchedError> {
+    let run = |policy: &mut dyn crate::policy::SchedulingPolicy| -> Result<f64, SchedError> {
+        Ok(simulate_policy(config, load, policy)?
+            .lifetime_minutes()
+            .unwrap_or(f64::INFINITY))
+    };
+    Ok((run(&mut Sequential::new())?, run(&mut RoundRobin::new())?, run(&mut BestAvailable::new())?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_row_matches_paper_for_deterministic_load() {
+        let row = validation_row(
+            TestLoad::Ils500,
+            &BatteryParams::itsy_b1(),
+            &Discretization::paper_default(),
+        )
+        .unwrap();
+        assert!((row.analytic_minutes - 4.30).abs() < 0.01);
+        assert!((row.paper_analytic_minutes - 4.30).abs() < 1e-9);
+        assert!(row.difference_percent.abs() < 2.0);
+    }
+
+    #[test]
+    fn validation_row_uses_b2_reference_for_b2() {
+        let row = validation_row(
+            TestLoad::Cl250,
+            &BatteryParams::itsy_b2(),
+            &Discretization::paper_default(),
+        )
+        .unwrap();
+        assert!((row.paper_analytic_minutes - 12.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table5_row_without_optimal_matches_paper_shape() {
+        let config = SystemConfig::paper_two_b1();
+        let row = table5_row(TestLoad::Cl500, &config, None).unwrap();
+        assert!(row.optimal_minutes.is_none());
+        assert!(row.sequential_minutes < row.round_robin_minutes);
+        assert!((row.round_robin_minutes - 4.53).abs() < 0.06);
+        assert!(row.relative_to_round_robin(row.sequential_minutes) < 0.0);
+        assert_eq!(row.paper_minutes, (4.10, 4.53, 4.53, 4.58));
+    }
+
+    #[test]
+    fn table5_row_with_optimal_on_coarse_grid_dominates() {
+        let config =
+            SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2).unwrap();
+        let row =
+            table5_row(TestLoad::ClAlt, &config, Some(&OptimalScheduler::new())).unwrap();
+        let optimal = row.optimal_minutes.unwrap();
+        assert!(optimal >= row.best_of_two_minutes - 1e-9);
+        assert!(optimal >= row.round_robin_minutes - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_lifetimes_ordering() {
+        let config = SystemConfig::paper_two_b1();
+        let (seq, rr, best) =
+            deterministic_lifetimes(&config, &TestLoad::IlsAlt.profile()).unwrap();
+        assert!(seq < rr);
+        assert!(best >= rr);
+    }
+}

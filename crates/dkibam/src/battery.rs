@@ -1,0 +1,254 @@
+use crate::{Discretization, RecoveryTable};
+use kibam::BatteryParams;
+
+/// The integer state of one battery in the discretized KiBaM.
+///
+/// Mirrors the per-battery variables of the TA-KiBaM (Table 1 of the paper):
+///
+/// * `n_gamma` — remaining total charge in charge units;
+/// * `m_delta` — height difference between the wells, in height units;
+/// * a recovery clock counting the time steps since the last height-unit
+///   recovery (the `c_recov` clock of the height-difference automaton);
+/// * an `observed_empty` flag: once a battery has been observed empty it is
+///   never used again, even though it keeps recovering charge (Section 4.3).
+///
+/// The emptiness criterion is Eq. 8: `c·n ≤ (1 - c)·m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiscreteBattery {
+    n_gamma: u32,
+    m_delta: u32,
+    recovery_clock: u64,
+    observed_empty: bool,
+}
+
+impl DiscreteBattery {
+    /// A freshly charged battery: `n_gamma = N = C / Γ`, `m_delta = 0`.
+    #[must_use]
+    pub fn full(params: &BatteryParams, disc: &Discretization) -> Self {
+        Self {
+            n_gamma: disc.charge_units(params.capacity()),
+            m_delta: 0,
+            recovery_clock: 0,
+            observed_empty: false,
+        }
+    }
+
+    /// Creates a battery state from raw unit counts (used by tests and by
+    /// the timed-automata encoding).
+    #[must_use]
+    pub fn from_units(n_gamma: u32, m_delta: u32) -> Self {
+        Self { n_gamma, m_delta, recovery_clock: 0, observed_empty: false }
+    }
+
+    /// Remaining total charge in charge units (`n_gamma`).
+    #[must_use]
+    pub fn charge_units(&self) -> u32 {
+        self.n_gamma
+    }
+
+    /// Height difference in height units (`m_delta`).
+    #[must_use]
+    pub fn height_units(&self) -> u32 {
+        self.m_delta
+    }
+
+    /// Time steps accumulated on the recovery clock since the last recovery.
+    #[must_use]
+    pub fn recovery_clock(&self) -> u64 {
+        self.recovery_clock
+    }
+
+    /// Whether this battery has been observed empty and retired.
+    #[must_use]
+    pub fn is_observed_empty(&self) -> bool {
+        self.observed_empty
+    }
+
+    /// Marks the battery as observed empty; it will never be used again.
+    pub fn mark_observed_empty(&mut self) {
+        self.observed_empty = true;
+    }
+
+    /// The emptiness criterion of Eq. 8: `c·n ≤ (1 - c)·m`.
+    ///
+    /// A battery that has been [observed empty](Self::is_observed_empty) is
+    /// also reported as empty, even if recovery has since made charge
+    /// available again.
+    #[must_use]
+    pub fn is_empty(&self, params: &BatteryParams) -> bool {
+        if self.observed_empty {
+            return true;
+        }
+        let c = params.c();
+        c * f64::from(self.n_gamma) <= (1.0 - c) * f64::from(self.m_delta)
+    }
+
+    /// Remaining total charge `γ = n · Γ` in A·min.
+    #[must_use]
+    pub fn total_charge(&self, disc: &Discretization) -> f64 {
+        f64::from(self.n_gamma) * disc.charge_unit()
+    }
+
+    /// Charge in the available-charge well, `y1 = Γ·(c·n - (1 - c)·m)`,
+    /// clamped at zero.
+    #[must_use]
+    pub fn available_charge(&self, params: &BatteryParams, disc: &Discretization) -> f64 {
+        let c = params.c();
+        (disc.charge_unit() * (c * f64::from(self.n_gamma) - (1.0 - c) * f64::from(self.m_delta)))
+            .max(0.0)
+    }
+
+    /// Draws `units` charge units from the battery: the total charge drops
+    /// and the height difference rises by the same number of units
+    /// (saturating at zero remaining charge).
+    pub fn draw(&mut self, units: u32) {
+        self.n_gamma = self.n_gamma.saturating_sub(units);
+        self.m_delta = self.m_delta.saturating_add(units);
+    }
+
+    /// Advances the recovery process by `steps` time steps.
+    ///
+    /// While the height difference exceeds one unit, each elapsed
+    /// `recov_times[m_delta]` time steps reduce it by one unit (the
+    /// height-difference automaton of Figure 5(b)). Recovery continues even
+    /// for observed-empty batteries, exactly as in the paper's model.
+    pub fn advance_recovery(&mut self, mut steps: u64, table: &RecoveryTable) {
+        while steps > 0 {
+            let Some(needed) = table.steps(self.m_delta) else {
+                // No recovery possible at or below one height unit.
+                self.recovery_clock = 0;
+                return;
+            };
+            let remaining = needed.saturating_sub(self.recovery_clock);
+            if steps < remaining {
+                self.recovery_clock += steps;
+                return;
+            }
+            steps -= remaining;
+            self.m_delta -= 1;
+            self.recovery_clock = 0;
+        }
+    }
+
+    /// Advances recovery by a single time step; returns `true` if a height
+    /// unit was recovered during this step.
+    pub fn tick_recovery(&mut self, table: &RecoveryTable) -> bool {
+        let before = self.m_delta;
+        self.advance_recovery(1, table);
+        self.m_delta < before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BatteryParams, Discretization, RecoveryTable) {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        let table = RecoveryTable::for_battery(&params, &disc);
+        (params, disc, table)
+    }
+
+    #[test]
+    fn full_battery_has_all_units_and_no_height_difference() {
+        let (params, disc, _) = setup();
+        let battery = DiscreteBattery::full(&params, &disc);
+        assert_eq!(battery.charge_units(), 550);
+        assert_eq!(battery.height_units(), 0);
+        assert!(!battery.is_empty(&params));
+        assert!((battery.total_charge(&disc) - 5.5).abs() < 1e-12);
+        assert!((battery.available_charge(&params, &disc) - 0.166 * 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn draw_moves_charge_into_height_difference() {
+        let (params, disc, _) = setup();
+        let mut battery = DiscreteBattery::full(&params, &disc);
+        battery.draw(10);
+        assert_eq!(battery.charge_units(), 540);
+        assert_eq!(battery.height_units(), 10);
+        assert!((battery.total_charge(&disc) - 5.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emptiness_criterion_matches_equation_8() {
+        let params = BatteryParams::itsy_b1();
+        // c n <= (1 - c) m  <=>  0.166 n <= 0.834 m.
+        let boundary = DiscreteBattery::from_units(100, 20);
+        // 0.166 * 100 = 16.6; 0.834 * 20 = 16.68 -> empty.
+        assert!(boundary.is_empty(&params));
+        let not_empty = DiscreteBattery::from_units(100, 19);
+        // 0.834 * 19 = 15.846 < 16.6 -> not empty.
+        assert!(!not_empty.is_empty(&params));
+    }
+
+    #[test]
+    fn observed_empty_is_sticky() {
+        let (params, disc, table) = setup();
+        let mut battery = DiscreteBattery::full(&params, &disc);
+        battery.mark_observed_empty();
+        assert!(battery.is_empty(&params));
+        // Even after a long recovery the battery stays retired.
+        battery.advance_recovery(1_000_000, &table);
+        assert!(battery.is_empty(&params));
+        assert!(battery.is_observed_empty());
+    }
+
+    #[test]
+    fn recovery_reduces_height_difference_to_one_unit() {
+        let (_, _, table) = setup();
+        let mut battery = DiscreteBattery::from_units(400, 50);
+        battery.advance_recovery(10_000_000, &table);
+        assert_eq!(battery.height_units(), 1, "recovery stops at one height unit");
+        assert_eq!(battery.charge_units(), 400, "recovery never changes the total charge");
+    }
+
+    #[test]
+    fn recovery_respects_per_unit_times() {
+        let (_, _, table) = setup();
+        let mut battery = DiscreteBattery::from_units(400, 3);
+        let to_two = table.steps(3).unwrap();
+        battery.advance_recovery(to_two - 1, &table);
+        assert_eq!(battery.height_units(), 3);
+        battery.advance_recovery(1, &table);
+        assert_eq!(battery.height_units(), 2);
+        // The clock restarts for the next unit.
+        let to_one = table.steps(2).unwrap();
+        battery.advance_recovery(to_one - 1, &table);
+        assert_eq!(battery.height_units(), 2);
+        battery.advance_recovery(1, &table);
+        assert_eq!(battery.height_units(), 1);
+    }
+
+    #[test]
+    fn tick_recovery_reports_recovered_units() {
+        let (_, _, table) = setup();
+        let mut battery = DiscreteBattery::from_units(100, 200);
+        let needed = table.steps(200).unwrap();
+        let mut recovered = 0;
+        for _ in 0..needed {
+            if battery.tick_recovery(&table) {
+                recovered += 1;
+            }
+        }
+        assert_eq!(recovered, 1);
+        assert_eq!(battery.height_units(), 199);
+    }
+
+    #[test]
+    fn draw_saturates_at_zero_charge() {
+        let mut battery = DiscreteBattery::from_units(2, 0);
+        battery.draw(5);
+        assert_eq!(battery.charge_units(), 0);
+        assert_eq!(battery.height_units(), 5);
+    }
+
+    #[test]
+    fn available_charge_is_clamped_at_zero() {
+        let (params, disc, _) = setup();
+        let battery = DiscreteBattery::from_units(10, 100);
+        assert_eq!(battery.available_charge(&params, &disc), 0.0);
+    }
+}

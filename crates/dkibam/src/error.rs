@@ -1,0 +1,122 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the discretized KiBaM.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DkibamError {
+    /// A discretization step size (time or charge) was non-positive, NaN or
+    /// infinite.
+    InvalidStepSize {
+        /// Which step was rejected ("time" or "charge").
+        which: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A current could not be expressed as `cur` charge units per
+    /// `cur_times` time steps with a reasonable denominator.
+    UnrepresentableCurrent {
+        /// The offending current (A).
+        current: f64,
+    },
+    /// A load to discretize was cyclic and no horizon was supplied, or the
+    /// horizon was invalid.
+    InvalidHorizon {
+        /// The rejected horizon (A·min of drawn charge).
+        value: f64,
+    },
+    /// The discretized load contains no epochs.
+    EmptyLoad,
+    /// A battery index was out of range for the multi-battery state.
+    BatteryIndexOutOfRange {
+        /// The rejected index.
+        index: usize,
+        /// The number of batteries in the state.
+        count: usize,
+    },
+    /// An underlying continuous-model error (invalid battery parameters or
+    /// load values).
+    Kibam(kibam::KibamError),
+    /// An underlying workload error.
+    Workload(workload::WorkloadError),
+}
+
+impl fmt::Display for DkibamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DkibamError::InvalidStepSize { which, value } => {
+                write!(f, "{which} step size must be positive and finite, got {value}")
+            }
+            DkibamError::UnrepresentableCurrent { current } => write!(
+                f,
+                "current {current} A cannot be represented as charge units per time steps"
+            ),
+            DkibamError::InvalidHorizon { value } => {
+                write!(f, "charge horizon must be positive and finite, got {value}")
+            }
+            DkibamError::EmptyLoad => write!(f, "discretized load contains no epochs"),
+            DkibamError::BatteryIndexOutOfRange { index, count } => {
+                write!(f, "battery index {index} out of range for {count} batteries")
+            }
+            DkibamError::Kibam(e) => write!(f, "continuous model error: {e}"),
+            DkibamError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for DkibamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DkibamError::Kibam(e) => Some(e),
+            DkibamError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kibam::KibamError> for DkibamError {
+    fn from(e: kibam::KibamError) -> Self {
+        DkibamError::Kibam(e)
+    }
+}
+
+impl From<workload::WorkloadError> for DkibamError {
+    fn from(e: workload::WorkloadError) -> Self {
+        DkibamError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DkibamError::InvalidStepSize { which: "time", value: -1.0 };
+        assert!(e.to_string().contains("time"));
+        assert!(DkibamError::EmptyLoad.to_string().contains("no epochs"));
+        assert!(DkibamError::UnrepresentableCurrent { current: 0.333 }
+            .to_string()
+            .contains("0.333"));
+        assert!(DkibamError::BatteryIndexOutOfRange { index: 3, count: 2 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn wraps_underlying_errors_with_source() {
+        let inner = kibam::KibamError::InvalidCapacity { value: 0.0 };
+        let outer: DkibamError = inner.clone().into();
+        assert!(outer.source().is_some());
+        assert!(outer.to_string().contains("capacity"));
+        let inner = workload::WorkloadError::EmptyProfile;
+        let outer: DkibamError = inner.into();
+        assert!(outer.source().is_some());
+    }
+
+    #[test]
+    fn implements_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<DkibamError>();
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-battery discrete state.
+//!
+//! Battery scheduling operates on several batteries at once: at any instant
+//! one battery serves the load while the others recover. This module holds
+//! the joint integer state of all batteries and advances it through idle
+//! periods and (portions of) jobs. The schedulers in the `battery-sched`
+//! crate — including the optimal, search-based one — drive exactly this
+//! state, which makes it the discrete analogue of the network of
+//! total-charge / height-difference automata of Figure 5.
+
+use crate::{DiscreteBattery, Discretization, DkibamError, RecoveryTable};
+use kibam::BatteryParams;
+
+/// Result of letting one battery serve (a portion of) a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobAdvance {
+    /// Time steps that actually elapsed.
+    pub steps_consumed: u64,
+    /// `true` if the requested number of steps was served completely;
+    /// `false` if the active battery was observed empty at a draw instant
+    /// before the end (the remaining steps still need to be served by
+    /// another battery).
+    pub completed: bool,
+}
+
+/// The joint discrete state of a set of identical batteries.
+///
+/// All batteries share the same [`BatteryParams`] (as in the paper, which
+/// schedules two batteries of type B1); per-battery state is a
+/// [`DiscreteBattery`]. The type is `Eq + Hash` so optimal-schedule searches
+/// can memoize visited states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultiBatteryState {
+    batteries: Vec<DiscreteBattery>,
+}
+
+impl MultiBatteryState {
+    /// Creates a state with `count` full batteries.
+    #[must_use]
+    pub fn new_full(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
+        Self { batteries: vec![DiscreteBattery::full(params, disc); count] }
+    }
+
+    /// Creates a state from explicit per-battery states.
+    #[must_use]
+    pub fn from_batteries(batteries: Vec<DiscreteBattery>) -> Self {
+        Self { batteries }
+    }
+
+    /// The number of batteries in the system.
+    #[must_use]
+    pub fn battery_count(&self) -> usize {
+        self.batteries.len()
+    }
+
+    /// All per-battery states, in index order.
+    #[must_use]
+    pub fn batteries(&self) -> &[DiscreteBattery] {
+        &self.batteries
+    }
+
+    /// The state of battery `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DkibamError::BatteryIndexOutOfRange`] if `index` is not a
+    /// valid battery index.
+    pub fn battery(&self, index: usize) -> Result<&DiscreteBattery, DkibamError> {
+        self.batteries.get(index).ok_or(DkibamError::BatteryIndexOutOfRange {
+            index,
+            count: self.batteries.len(),
+        })
+    }
+
+    /// Indices of the batteries that can still serve a job: not yet observed
+    /// empty and not currently satisfying the emptiness criterion.
+    #[must_use]
+    pub fn available(&self, params: &BatteryParams) -> Vec<usize> {
+        self.batteries
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty(params))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether every battery is empty (the system has reached the end of its
+    /// lifetime).
+    #[must_use]
+    pub fn all_empty(&self, params: &BatteryParams) -> bool {
+        self.batteries.iter().all(|b| b.is_empty(params))
+    }
+
+    /// Total remaining charge units over all batteries. This is exactly the
+    /// quantity the paper's maximum-finder automaton converts into a cost:
+    /// the longest-lived schedule leaves the least charge behind.
+    #[must_use]
+    pub fn total_charge_units(&self) -> u64 {
+        self.batteries.iter().map(|b| u64::from(b.charge_units())).sum()
+    }
+
+    /// Total remaining charge in A·min.
+    #[must_use]
+    pub fn total_charge(&self, disc: &Discretization) -> f64 {
+        self.total_charge_units() as f64 * disc.charge_unit()
+    }
+
+    /// Lets every battery recover for `steps` time steps (an idle period of
+    /// the load, or the portion of a job served by some other battery).
+    pub fn advance_idle(&mut self, steps: u64, table: &RecoveryTable) {
+        for battery in &mut self.batteries {
+            battery.advance_recovery(steps, table);
+        }
+    }
+
+    /// Lets battery `active` serve a job portion of `steps` time steps with
+    /// the given draw pattern while all other batteries recover.
+    ///
+    /// If the active battery is observed empty at a draw instant (Eq. 8), it
+    /// is retired, the remaining steps are *not* served, and the returned
+    /// [`JobAdvance`] reports `completed == false` together with the number
+    /// of steps that did elapse; the caller then re-schedules the remainder
+    /// on another battery, mirroring the scheduler automaton of Figure 5(d).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DkibamError::BatteryIndexOutOfRange`] if `active` is not a
+    /// valid battery index.
+    pub fn advance_job(
+        &mut self,
+        active: usize,
+        steps: u64,
+        draw_interval: u32,
+        units_per_draw: u32,
+        table: &RecoveryTable,
+        params: &BatteryParams,
+    ) -> Result<JobAdvance, DkibamError> {
+        if active >= self.batteries.len() {
+            return Err(DkibamError::BatteryIndexOutOfRange {
+                index: active,
+                count: self.batteries.len(),
+            });
+        }
+        if draw_interval == 0 || units_per_draw == 0 {
+            // Degenerate "job" that draws nothing: just idle time.
+            self.advance_idle(steps, table);
+            return Ok(JobAdvance { steps_consumed: steps, completed: true });
+        }
+        if self.batteries[active].is_empty(params) {
+            self.batteries[active].mark_observed_empty();
+            return Ok(JobAdvance { steps_consumed: 0, completed: false });
+        }
+
+        let interval = u64::from(draw_interval);
+        let draws = steps / interval;
+        let remainder = steps - draws * interval;
+        let mut consumed = 0;
+        for _ in 0..draws {
+            for battery in &mut self.batteries {
+                battery.advance_recovery(interval, table);
+            }
+            consumed += interval;
+            // As in the single-battery simulation, the emptiness condition is
+            // checked at the draw instant both before and after the draw.
+            if !self.batteries[active].is_empty(params) {
+                self.batteries[active].draw(units_per_draw);
+            }
+            if self.batteries[active].is_empty(params) {
+                self.batteries[active].mark_observed_empty();
+                return Ok(JobAdvance { steps_consumed: consumed, completed: false });
+            }
+        }
+        for battery in &mut self.batteries {
+            battery.advance_recovery(remainder, table);
+        }
+        consumed += remainder;
+        Ok(JobAdvance { steps_consumed: consumed, completed: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BatteryParams, Discretization, RecoveryTable) {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        let table = RecoveryTable::for_battery(&params, &disc);
+        (params, disc, table)
+    }
+
+    #[test]
+    fn new_full_creates_identical_full_batteries() {
+        let (params, disc, _) = setup();
+        let state = MultiBatteryState::new_full(&params, &disc, 2);
+        assert_eq!(state.battery_count(), 2);
+        assert_eq!(state.total_charge_units(), 1100);
+        assert!((state.total_charge(&disc) - 11.0).abs() < 1e-12);
+        assert_eq!(state.available(&params), vec![0, 1]);
+        assert!(!state.all_empty(&params));
+    }
+
+    #[test]
+    fn battery_access_is_bounds_checked() {
+        let (params, disc, _) = setup();
+        let state = MultiBatteryState::new_full(&params, &disc, 2);
+        assert!(state.battery(1).is_ok());
+        assert!(matches!(
+            state.battery(2),
+            Err(DkibamError::BatteryIndexOutOfRange { index: 2, count: 2 })
+        ));
+    }
+
+    #[test]
+    fn advance_job_discharges_only_the_active_battery() {
+        let (params, disc, table) = setup();
+        let mut state = MultiBatteryState::new_full(&params, &disc, 2);
+        // One minute of 500 mA: 100 steps, one unit every 2 steps.
+        let advance = state.advance_job(0, 100, 2, 1, &table, &params).unwrap();
+        assert!(advance.completed);
+        assert_eq!(advance.steps_consumed, 100);
+        assert_eq!(state.batteries()[0].charge_units(), 500);
+        assert_eq!(state.batteries()[1].charge_units(), 550);
+        assert!(state.batteries()[0].height_units() > 0);
+        assert_eq!(state.batteries()[1].height_units(), 0);
+    }
+
+    #[test]
+    fn advance_job_on_out_of_range_battery_fails() {
+        let (params, disc, table) = setup();
+        let mut state = MultiBatteryState::new_full(&params, &disc, 2);
+        assert!(state.advance_job(5, 10, 2, 1, &table, &params).is_err());
+    }
+
+    #[test]
+    fn active_battery_is_retired_when_observed_empty() {
+        let (params, disc, table) = setup();
+        // Battery 0 is nearly dead: few charge units, big height difference.
+        let dying = DiscreteBattery::from_units(30, 120);
+        let fresh = DiscreteBattery::full(&params, &disc);
+        let mut state = MultiBatteryState::from_batteries(vec![dying, fresh]);
+        let advance = state.advance_job(0, 200, 2, 1, &table, &params).unwrap();
+        assert!(!advance.completed);
+        assert!(advance.steps_consumed < 200);
+        assert!(state.batteries()[0].is_observed_empty());
+        // The other battery is still usable, so the system is not dead yet.
+        assert!(!state.all_empty(&params));
+        assert_eq!(state.available(&params), vec![1]);
+    }
+
+    #[test]
+    fn scheduling_an_already_empty_battery_consumes_no_time() {
+        let (params, disc, table) = setup();
+        let mut dead = DiscreteBattery::from_units(10, 100);
+        assert!(dead.is_empty(&params));
+        dead.mark_observed_empty();
+        let fresh = DiscreteBattery::full(&params, &disc);
+        let mut state = MultiBatteryState::from_batteries(vec![dead, fresh]);
+        let advance = state.advance_job(0, 100, 2, 1, &table, &params).unwrap();
+        assert_eq!(advance.steps_consumed, 0);
+        assert!(!advance.completed);
+    }
+
+    #[test]
+    fn idle_advance_recovers_all_batteries() {
+        let (params, disc, table) = setup();
+        let used_a = DiscreteBattery::from_units(400, 60);
+        let used_b = DiscreteBattery::from_units(300, 80);
+        let mut state = MultiBatteryState::from_batteries(vec![used_a, used_b]);
+        state.advance_idle(1_000, &table);
+        assert!(state.batteries()[0].height_units() < 60);
+        assert!(state.batteries()[1].height_units() < 80);
+        // Total charge never changes during idle periods.
+        assert_eq!(state.total_charge_units(), 700);
+        let _ = params;
+    }
+
+    #[test]
+    fn degenerate_job_with_no_draws_is_idle_time() {
+        let (params, disc, table) = setup();
+        let mut state = MultiBatteryState::new_full(&params, &disc, 2);
+        let advance = state.advance_job(0, 50, 0, 0, &table, &params).unwrap();
+        assert!(advance.completed);
+        assert_eq!(state.total_charge_units(), 1100);
+    }
+
+    #[test]
+    fn state_equality_and_hashing_ignore_nothing() {
+        use std::collections::HashSet;
+        let (params, disc, _) = setup();
+        let a = MultiBatteryState::new_full(&params, &disc, 2);
+        let b = MultiBatteryState::new_full(&params, &disc, 2);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        let mut c = b.clone();
+        c = {
+            let mut batteries = c.batteries().to_vec();
+            batteries[0].draw(1);
+            MultiBatteryState::from_batteries(batteries)
+        };
+        assert!(!set.contains(&c));
+    }
+}

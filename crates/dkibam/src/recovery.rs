@@ -1,0 +1,137 @@
+use crate::Discretization;
+use kibam::BatteryParams;
+
+/// Precomputed recovery times (the paper's `recov_times` array).
+///
+/// When no charge is being drawn, the height difference `δ` relaxes
+/// exponentially (Eq. 4/5 of the paper). With `δ = m · Γ/c`, the time to
+/// fall from `m` to `m - 1` units is
+///
+/// ```text
+/// t(m) = -(1/k') · ln((m - 1) / m)        (Eq. 6)
+/// ```
+///
+/// which this table stores rounded to the nearest whole number of time
+/// steps, exactly as prescribed in Section 2.3. Entries for `m <= 1` are
+/// [`None`]: by Eq. 6 the final unit would take infinitely long to recover
+/// (the relaxation is asymptotic), so the automaton never recovers below a
+/// height difference of one unit.
+///
+/// # Example
+///
+/// ```
+/// use dkibam::{Discretization, RecoveryTable};
+/// use kibam::BatteryParams;
+///
+/// let b1 = BatteryParams::itsy_b1();
+/// let disc = Discretization::paper_default();
+/// let table = RecoveryTable::for_battery(&b1, &disc);
+/// // Larger height differences recover faster (shorter per-unit times).
+/// assert!(table.steps(10).unwrap() > table.steps(100).unwrap());
+/// assert!(table.steps(1).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RecoveryTable {
+    steps: Vec<Option<u64>>,
+}
+
+impl RecoveryTable {
+    /// Builds a recovery table covering height differences up to `max_units`.
+    #[must_use]
+    pub fn new(params: &BatteryParams, disc: &Discretization, max_units: u32) -> Self {
+        let k_prime = params.k_prime();
+        let time_step = disc.time_step();
+        let steps = (0..=max_units)
+            .map(|m| {
+                if m <= 1 {
+                    None
+                } else {
+                    let minutes = (m as f64 / (m as f64 - 1.0)).ln() / k_prime;
+                    // Rounded to the nearest time step as in the paper; at
+                    // least one step so recovery can never be instantaneous.
+                    Some(((minutes / time_step).round() as u64).max(1))
+                }
+            })
+            .collect();
+        Self { steps }
+    }
+
+    /// Builds a table sized for a full battery: the height difference can
+    /// never exceed the number of charge units drawn, so `N = C / Γ` entries
+    /// suffice.
+    #[must_use]
+    pub fn for_battery(params: &BatteryParams, disc: &Discretization) -> Self {
+        Self::new(params, disc, disc.charge_units(params.capacity()))
+    }
+
+    /// The number of time steps needed to reduce a height difference of `m`
+    /// units by one unit, or `None` if `m <= 1` (no further recovery) or `m`
+    /// exceeds the table.
+    #[must_use]
+    pub fn steps(&self, m: u32) -> Option<u64> {
+        self.steps.get(m as usize).copied().flatten()
+    }
+
+    /// The largest height difference covered by this table.
+    #[must_use]
+    pub fn max_units(&self) -> u32 {
+        (self.steps.len() as u32).saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RecoveryTable {
+        RecoveryTable::for_battery(&BatteryParams::itsy_b1(), &Discretization::paper_default())
+    }
+
+    #[test]
+    fn no_recovery_at_or_below_one_unit() {
+        let t = table();
+        assert_eq!(t.steps(0), None);
+        assert_eq!(t.steps(1), None);
+        assert!(t.steps(2).is_some());
+    }
+
+    #[test]
+    fn recovery_times_match_equation_6() {
+        let t = table();
+        // For m = 2: t = ln(2) / 0.122 ≈ 5.6815 min ≈ 568 steps of 0.01 min.
+        assert_eq!(t.steps(2), Some(568));
+        // For m = 100: t = ln(100/99)/0.122 ≈ 0.08237 min ≈ 8 steps.
+        assert_eq!(t.steps(100), Some(8));
+    }
+
+    #[test]
+    fn recovery_times_are_non_increasing_in_m() {
+        let t = table();
+        let mut previous = u64::MAX;
+        for m in 2..=t.max_units() {
+            let steps = t.steps(m).unwrap();
+            assert!(steps <= previous, "recovery must speed up as delta grows");
+            previous = steps;
+        }
+    }
+
+    #[test]
+    fn recovery_never_rounds_to_zero_steps() {
+        // Even with an extremely coarse time step the table clamps at one
+        // step per unit, so simulations can never loop forever.
+        let coarse = Discretization::new(5.0, 0.01).unwrap();
+        let t = RecoveryTable::new(&BatteryParams::itsy_b1(), &coarse, 1000);
+        for m in 2..=1000 {
+            assert!(t.steps(m).unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn table_covers_full_battery() {
+        let t = table();
+        assert_eq!(t.max_units(), 550);
+        assert!(t.steps(550).is_some());
+        assert_eq!(t.steps(551), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Single-battery simulation of the discretized KiBaM.
+//!
+//! This is the discrete counterpart of [`kibam::lifetime`]: it steps a single
+//! battery through a [`DiscretizedLoad`], drawing charge units at the epoch's
+//! draw instants while recovery runs concurrently, and reports the time at
+//! which the battery is first *observed* empty (Eq. 8 checked at a draw
+//! instant, exactly as in the total-charge automaton of Figure 5(a)).
+//!
+//! Tables 3 and 4 of the paper compare exactly these two computations.
+
+use crate::{DiscreteBattery, DiscretizedLoad, Discretization, DkibamError, RecoveryTable};
+use kibam::BatteryParams;
+
+/// Outcome of a single-battery discrete simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Lifetime in minutes, if the battery was observed empty before the
+    /// load ended.
+    pub lifetime_minutes: Option<f64>,
+    /// Lifetime in time steps, if the battery was observed empty.
+    pub lifetime_steps: Option<u64>,
+    /// The battery state when the simulation stopped.
+    pub final_battery: DiscreteBattery,
+    /// The number of time steps simulated in total.
+    pub steps_simulated: u64,
+}
+
+/// Simulates one battery serving the whole load and returns its lifetime.
+///
+/// # Errors
+///
+/// Returns [`DkibamError::EmptyLoad`] if the load has no epochs.
+pub fn simulate_lifetime(
+    params: &BatteryParams,
+    disc: &Discretization,
+    load: &DiscretizedLoad,
+) -> Result<SimOutcome, DkibamError> {
+    if load.epochs().is_empty() {
+        return Err(DkibamError::EmptyLoad);
+    }
+    let table = RecoveryTable::for_battery(params, disc);
+    let mut battery = DiscreteBattery::full(params, disc);
+    let mut elapsed: u64 = 0;
+
+    for epoch in load.epochs() {
+        if epoch.is_idle() {
+            battery.advance_recovery(epoch.duration_steps(), &table);
+            elapsed += epoch.duration_steps();
+            continue;
+        }
+        let interval = u64::from(epoch.draw_interval_steps());
+        let draws = epoch.draws_in_epoch();
+        let remainder = epoch.duration_steps() - draws * interval;
+        for _ in 0..draws {
+            battery.advance_recovery(interval, &table);
+            elapsed += interval;
+            // The emptiness condition (Eq. 8) is a location guard in the
+            // total-charge automaton: it can only become true when a draw
+            // increases the height difference, so it is checked both before
+            // drawing (the battery may already be empty) and immediately
+            // after (this draw may have emptied it).
+            if !battery.is_empty(params) {
+                battery.draw(epoch.units_per_draw());
+            }
+            if battery.is_empty(params) {
+                battery.mark_observed_empty();
+                return Ok(SimOutcome {
+                    lifetime_minutes: Some(disc.steps_to_minutes(elapsed)),
+                    lifetime_steps: Some(elapsed),
+                    final_battery: battery,
+                    steps_simulated: elapsed,
+                });
+            }
+        }
+        battery.advance_recovery(remainder, &table);
+        elapsed += remainder;
+    }
+
+    Ok(SimOutcome {
+        lifetime_minutes: None,
+        lifetime_steps: None,
+        final_battery: battery,
+        steps_simulated: elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::paper_loads::TestLoad;
+
+    fn lifetime(load: TestLoad, params: &BatteryParams) -> f64 {
+        let disc = Discretization::paper_default();
+        let horizon = 2.0 * params.capacity();
+        let dload = DiscretizedLoad::from_profile(&load.profile(), &disc, horizon).unwrap();
+        simulate_lifetime(params, &disc, &dload)
+            .unwrap()
+            .lifetime_minutes
+            .expect("paper loads empty the battery")
+    }
+
+    /// Table 3 of the paper: the TA-KiBaM (= this discrete simulation)
+    /// deviates from the analytical KiBaM by at most ~1%.
+    #[test]
+    fn discrete_lifetimes_close_to_analytic_for_b1() {
+        let b1 = BatteryParams::itsy_b1();
+        for load in TestLoad::all() {
+            if load.is_random() {
+                continue;
+            }
+            let discrete = lifetime(load, &b1);
+            let analytic = kibam::lifetime::lifetime_for_segments(&b1, load.profile().segments())
+                .unwrap()
+                .lifetime;
+            let relative = (discrete - analytic).abs() / analytic;
+            assert!(
+                relative < 0.02,
+                "{load}: discrete {discrete:.3} vs analytic {analytic:.3} ({relative:.3} rel)"
+            );
+            // The discrete model errs on the long side (rounding of recovery
+            // times), as discussed in Section 5 of the paper.
+            assert!(discrete >= analytic - 0.02, "{load}: discrete should not undershoot");
+        }
+    }
+
+    #[test]
+    fn cl_500_matches_paper_ta_kibam_value() {
+        // Table 3 reports 2.04 min for CL 500 on B1 with the TA-KiBaM.
+        let value = lifetime(TestLoad::Cl500, &BatteryParams::itsy_b1());
+        assert!((value - 2.04).abs() < 0.03, "got {value}");
+    }
+
+    #[test]
+    fn ils_250_matches_paper_ta_kibam_value() {
+        // Table 3 reports 10.84 min for ILs 250 on B1.
+        let value = lifetime(TestLoad::Ils250, &BatteryParams::itsy_b1());
+        assert!((value - 10.84).abs() < 0.06, "got {value}");
+    }
+
+    #[test]
+    fn b2_lifetimes_close_to_analytic() {
+        let b2 = BatteryParams::itsy_b2();
+        for load in [TestLoad::Cl500, TestLoad::IlsAlt, TestLoad::Ill500] {
+            let discrete = lifetime(load, &b2);
+            let analytic = kibam::lifetime::lifetime_for_segments(&b2, load.profile().segments())
+                .unwrap()
+                .lifetime;
+            assert!(
+                ((discrete - analytic) / analytic).abs() < 0.02,
+                "{load}: {discrete} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_that_ends_before_emptying_returns_none() {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        let profile = TestLoad::Cl250.profile().truncate_to_duration(1.0).unwrap();
+        let load = DiscretizedLoad::from_profile(&profile, &disc, 1.0).unwrap();
+        let outcome = simulate_lifetime(&params, &disc, &load).unwrap();
+        assert_eq!(outcome.lifetime_minutes, None);
+        assert!(outcome.final_battery.charge_units() < 550);
+    }
+
+    #[test]
+    fn coarse_discretization_still_close() {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::coarse();
+        let load =
+            DiscretizedLoad::from_profile(&TestLoad::Cl250.profile(), &disc, 11.0).unwrap();
+        let outcome = simulate_lifetime(&params, &disc, &load).unwrap();
+        let lifetime = outcome.lifetime_minutes.unwrap();
+        // Within ~5% of the analytic 4.53 min despite the 5x coarser grid.
+        assert!((lifetime - 4.53).abs() < 0.25, "got {lifetime}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Closed-form solution of the KiBaM under constant discharge current.
+//!
+//! In the transformed coordinates of Eq. 2 the model becomes, for a constant
+//! current `I` over an interval of length `t`:
+//!
+//! ```text
+//! δ(t) = δ(0)·e^{-k't} + (I / (c·k'))·(1 - e^{-k't})
+//! γ(t) = γ(0) - I·t
+//! ```
+//!
+//! and the battery is empty when `γ(t) = (1 - c)·δ(t)` (Eq. 3). This module
+//! provides the state evolution and a robust first-crossing solver for the
+//! time to empty, which together form the basis for the piecewise-constant
+//! lifetime computation in [`crate::lifetime`].
+
+use crate::{BatteryParams, KibamError, TransformedState, CHARGE_EPSILON};
+
+/// Number of scan intervals used to bracket the first empty-crossing before
+/// bisection refines it.
+const SCAN_STEPS: usize = 4096;
+/// Number of bisection iterations; 80 halvings reduce any bracket far below
+/// f64 resolution.
+const BISECTION_ITERS: usize = 80;
+
+/// Evolves a battery state under a constant current `current` for `duration`
+/// minutes, using the exact analytical solution.
+///
+/// A zero current models an idle (recovery) period: the total charge stays
+/// constant while the height difference relaxes towards zero.
+///
+/// # Errors
+///
+/// Returns [`KibamError::InvalidCurrent`] for negative or non-finite currents
+/// and [`KibamError::InvalidDuration`] for negative or non-finite durations.
+///
+/// # Example
+///
+/// ```
+/// use kibam::{analytic::evolve, BatteryParams, TransformedState};
+///
+/// # fn main() -> Result<(), kibam::KibamError> {
+/// let b1 = BatteryParams::itsy_b1();
+/// let full = TransformedState::full(&b1);
+/// // One minute at 500 mA.
+/// let after = evolve(&b1, full, 0.5, 1.0)?;
+/// assert!((after.gamma - 5.0).abs() < 1e-12);
+/// assert!(after.delta > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evolve(
+    params: &BatteryParams,
+    state: TransformedState,
+    current: f64,
+    duration: f64,
+) -> Result<TransformedState, KibamError> {
+    validate_current(current)?;
+    validate_duration(duration)?;
+    Ok(evolve_unchecked(params, state, current, duration))
+}
+
+/// Evolution without argument validation; shared by the scanning routines.
+pub(crate) fn evolve_unchecked(
+    params: &BatteryParams,
+    state: TransformedState,
+    current: f64,
+    duration: f64,
+) -> TransformedState {
+    if duration == 0.0 {
+        return state;
+    }
+    let k_prime = params.k_prime();
+    let c = params.c();
+    let decay = (-k_prime * duration).exp();
+    let delta = state.delta * decay + current / (c * k_prime) * (1.0 - decay);
+    let gamma = state.gamma - current * duration;
+    TransformedState { delta, gamma }
+}
+
+/// Computes the time until the battery first becomes empty when a constant
+/// current is drawn from the given state.
+///
+/// Returns `Ok(None)` if the battery never empties under this current — in
+/// particular for `current == 0` (idle periods only let the battery recover).
+/// Returns `Ok(Some(0.0))` if the state is already empty.
+///
+/// # Errors
+///
+/// Returns [`KibamError::InvalidCurrent`] for negative or non-finite
+/// currents.
+///
+/// # Example
+///
+/// ```
+/// use kibam::{analytic::time_to_empty, BatteryParams, TransformedState};
+///
+/// # fn main() -> Result<(), kibam::KibamError> {
+/// let b1 = BatteryParams::itsy_b1();
+/// let lifetime = time_to_empty(&b1, TransformedState::full(&b1), 0.25)?
+///     .expect("a constant 250 mA load empties B1");
+/// // Table 3 of the paper: 4.53 minutes for the CL 250 load.
+/// assert!((lifetime - 4.53).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn time_to_empty(
+    params: &BatteryParams,
+    state: TransformedState,
+    current: f64,
+) -> Result<Option<f64>, KibamError> {
+    validate_current(current)?;
+    if state.is_empty(params) {
+        return Ok(Some(0.0));
+    }
+    if current <= CHARGE_EPSILON {
+        // Idle: gamma constant, delta decays towards zero, margin only grows.
+        return Ok(None);
+    }
+    // Upper bound: draining the entire remaining charge takes gamma / I.
+    let t_max = (state.gamma / current).max(0.0);
+    if t_max == 0.0 {
+        return Ok(Some(0.0));
+    }
+    let margin_at = |t: f64| evolve_unchecked(params, state, current, t).margin(params);
+
+    // The margin is positive at t = 0 and non-positive at t_max (gamma = 0,
+    // delta >= 0). Scan for the first sign change, then bisect.
+    let step = t_max / SCAN_STEPS as f64;
+    let mut lo = 0.0_f64;
+    let mut hi = t_max;
+    let mut found = false;
+    for i in 1..=SCAN_STEPS {
+        let t = step * i as f64;
+        if margin_at(t) <= 0.0 {
+            lo = step * (i - 1) as f64;
+            hi = t;
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        // Numerical corner case: treat the upper bound as the crossing.
+        return Ok(Some(t_max));
+    }
+    for _ in 0..BISECTION_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if margin_at(mid) <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(0.5 * (lo + hi)))
+}
+
+/// Lifetime of a full battery under a constant discharge current.
+///
+/// This is the single-battery, continuous-load case of the paper (the `CL`
+/// loads of Section 5). Returns `Ok(None)` for a zero current.
+///
+/// # Errors
+///
+/// Returns [`KibamError::InvalidCurrent`] for negative or non-finite
+/// currents.
+pub fn lifetime_constant_current(
+    params: &BatteryParams,
+    current: f64,
+) -> Result<Option<f64>, KibamError> {
+    time_to_empty(params, TransformedState::full(params), current)
+}
+
+fn validate_current(current: f64) -> Result<(), KibamError> {
+    if !(current.is_finite() && current >= 0.0) {
+        return Err(KibamError::InvalidCurrent { value: current });
+    }
+    Ok(())
+}
+
+fn validate_duration(duration: f64) -> Result<(), KibamError> {
+    if !(duration.is_finite() && duration >= 0.0) {
+        return Err(KibamError::InvalidDuration { value: duration });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b1() -> BatteryParams {
+        BatteryParams::itsy_b1()
+    }
+
+    #[test]
+    fn evolve_validates_arguments() {
+        let params = b1();
+        let full = TransformedState::full(&params);
+        assert!(matches!(
+            evolve(&params, full, -0.1, 1.0),
+            Err(KibamError::InvalidCurrent { .. })
+        ));
+        assert!(matches!(
+            evolve(&params, full, 0.1, -1.0),
+            Err(KibamError::InvalidDuration { .. })
+        ));
+        assert!(matches!(
+            evolve(&params, full, f64::NAN, 1.0),
+            Err(KibamError::InvalidCurrent { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_duration_is_identity() {
+        let params = b1();
+        let state = TransformedState { delta: 1.2, gamma: 3.4 };
+        let after = evolve(&params, state, 0.5, 0.0).unwrap();
+        assert_eq!(after, state);
+    }
+
+    #[test]
+    fn gamma_decreases_linearly_with_current() {
+        let params = b1();
+        let full = TransformedState::full(&params);
+        let after = evolve(&params, full, 0.25, 2.0).unwrap();
+        assert!((after.gamma - (5.5 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_period_recovers_height_difference() {
+        let params = b1();
+        let stressed = TransformedState { delta: 3.0, gamma: 4.0 };
+        let rested = evolve(&params, stressed, 0.0, 5.0).unwrap();
+        assert!(rested.delta < stressed.delta);
+        assert_eq!(rested.gamma, stressed.gamma);
+        // Exponential decay towards zero.
+        let expected = 3.0 * (-0.122_f64 * 5.0).exp();
+        assert!((rested.delta - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_approaches_steady_state_under_constant_current() {
+        let params = b1();
+        let full = TransformedState::full(&params);
+        let long = evolve(&params, full, 0.1, 500.0).unwrap();
+        let steady = 0.1 / (params.c() * params.k_prime());
+        assert!((long.delta - steady).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lifetime_cl_250_matches_paper_table_3() {
+        let lifetime = lifetime_constant_current(&b1(), 0.25).unwrap().unwrap();
+        assert!((lifetime - 4.53).abs() < 0.01, "got {lifetime}");
+    }
+
+    #[test]
+    fn lifetime_cl_500_matches_paper_table_3() {
+        let lifetime = lifetime_constant_current(&b1(), 0.5).unwrap().unwrap();
+        assert!((lifetime - 2.02).abs() < 0.01, "got {lifetime}");
+    }
+
+    #[test]
+    fn lifetime_b2_is_cl_250_of_b1_at_double_current() {
+        // The model is scale invariant: doubling capacity and current gives
+        // the same lifetime (Tables 3 and 4 of the paper exhibit this).
+        let b2 = BatteryParams::itsy_b2();
+        let l1 = lifetime_constant_current(&b1(), 0.25).unwrap().unwrap();
+        let l2 = lifetime_constant_current(&b2, 0.5).unwrap().unwrap();
+        assert!((l1 - l2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_current_never_empties() {
+        assert_eq!(lifetime_constant_current(&b1(), 0.0).unwrap(), None);
+    }
+
+    #[test]
+    fn already_empty_state_has_zero_time_to_empty() {
+        let params = b1();
+        let empty = TransformedState { delta: 2.0, gamma: (1.0 - params.c()) * 2.0 };
+        assert_eq!(time_to_empty(&params, empty, 0.5).unwrap(), Some(0.0));
+    }
+
+    #[test]
+    fn higher_current_delivers_less_charge_rate_capacity_effect() {
+        // The rate-capacity effect: the delivered charge I * lifetime is
+        // smaller at higher discharge currents.
+        let params = b1();
+        let low = lifetime_constant_current(&params, 0.25).unwrap().unwrap();
+        let high = lifetime_constant_current(&params, 0.5).unwrap().unwrap();
+        assert!(0.25 * low > 0.5 * high);
+    }
+
+    #[test]
+    fn time_to_empty_is_monotone_in_current() {
+        let params = b1();
+        let full = TransformedState::full(&params);
+        let mut previous = f64::INFINITY;
+        for current in [0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
+            let t = time_to_empty(&params, full, current).unwrap().unwrap();
+            assert!(t < previous, "lifetime must shrink as current grows");
+            previous = t;
+        }
+    }
+}

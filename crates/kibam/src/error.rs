@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or using KiBaM model entities.
+///
+/// All constructors in this crate validate their arguments (capacities and
+/// durations must be positive and finite, the well fraction must lie strictly
+/// between zero and one, …) and report violations through this type.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KibamError {
+    /// The battery capacity was zero, negative, NaN or infinite.
+    InvalidCapacity {
+        /// The rejected capacity value (A·min).
+        value: f64,
+    },
+    /// The available-charge well fraction `c` was outside the open interval
+    /// `(0, 1)` or not finite.
+    InvalidWellFraction {
+        /// The rejected fraction.
+        value: f64,
+    },
+    /// The rate constant `k'` was zero, negative, NaN or infinite.
+    InvalidRateConstant {
+        /// The rejected rate constant (1/min).
+        value: f64,
+    },
+    /// A discharge current was negative, NaN or infinite.
+    InvalidCurrent {
+        /// The rejected current (A).
+        value: f64,
+    },
+    /// A duration or time step was negative, zero where positivity is
+    /// required, NaN or infinite.
+    InvalidDuration {
+        /// The rejected duration (min).
+        value: f64,
+    },
+    /// A charge amount (well content) was negative, NaN or infinite.
+    InvalidCharge {
+        /// The rejected charge (A·min).
+        value: f64,
+    },
+}
+
+impl fmt::Display for KibamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KibamError::InvalidCapacity { value } => {
+                write!(f, "battery capacity must be positive and finite, got {value}")
+            }
+            KibamError::InvalidWellFraction { value } => {
+                write!(
+                    f,
+                    "available-charge well fraction must lie strictly between 0 and 1, got {value}"
+                )
+            }
+            KibamError::InvalidRateConstant { value } => {
+                write!(f, "rate constant k' must be positive and finite, got {value}")
+            }
+            KibamError::InvalidCurrent { value } => {
+                write!(f, "discharge current must be non-negative and finite, got {value}")
+            }
+            KibamError::InvalidDuration { value } => {
+                write!(f, "duration must be non-negative and finite, got {value}")
+            }
+            KibamError::InvalidCharge { value } => {
+                write!(f, "charge must be non-negative and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for KibamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_value() {
+        let err = KibamError::InvalidCapacity { value: -1.0 };
+        assert!(err.to_string().contains("-1"));
+        let err = KibamError::InvalidWellFraction { value: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+        let err = KibamError::InvalidRateConstant { value: 0.0 };
+        assert!(err.to_string().contains('0'));
+        let err = KibamError::InvalidCurrent { value: f64::NAN };
+        assert!(err.to_string().contains("NaN"));
+        let err = KibamError::InvalidDuration { value: -2.0 };
+        assert!(err.to_string().contains("-2"));
+        let err = KibamError::InvalidCharge { value: -3.0 };
+        assert!(err.to_string().contains("-3"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<KibamError>();
+    }
+}

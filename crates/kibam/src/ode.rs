@@ -1,0 +1,207 @@
+//! Numerical integration of the original KiBaM differential equations.
+//!
+//! The analytical solution in [`crate::analytic`] only applies to
+//! piecewise-constant currents. For arbitrary load functions `i(t)` — and to
+//! cross-validate the closed form — this module integrates the original
+//! two-well system (Eq. 1 of the paper)
+//!
+//! ```text
+//! dy1/dt = -i(t) + k·(h2 - h1)
+//! dy2/dt = -k·(h2 - h1)
+//! ```
+//!
+//! with a classical fixed-step fourth-order Runge–Kutta scheme.
+
+use crate::{BatteryParams, KibamError, TwoWellState, CHARGE_EPSILON};
+
+/// Result of integrating the model until the battery empties or the time
+/// horizon is reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrationOutcome {
+    /// The state at the end of the integration.
+    pub state: TwoWellState,
+    /// The time at which integration stopped (minutes from the start).
+    pub time: f64,
+    /// Whether the battery was empty at the stop time.
+    pub empty: bool,
+}
+
+/// Integrates the two-well equations from `state` over `duration` minutes
+/// with step size `dt`, under the load function `load` (amperes as a function
+/// of absolute time, starting at `t0`).
+///
+/// Integration stops early as soon as the available charge well is drained;
+/// the returned [`IntegrationOutcome::time`] is then (a step-accurate
+/// approximation of) the emptying time.
+///
+/// # Errors
+///
+/// Returns [`KibamError::InvalidDuration`] if `duration` is negative or not
+/// finite, or if `dt` is not strictly positive and finite.
+pub fn integrate<F>(
+    params: &BatteryParams,
+    state: TwoWellState,
+    t0: f64,
+    duration: f64,
+    dt: f64,
+    load: F,
+) -> Result<IntegrationOutcome, KibamError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(duration.is_finite() && duration >= 0.0) {
+        return Err(KibamError::InvalidDuration { value: duration });
+    }
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(KibamError::InvalidDuration { value: dt });
+    }
+
+    let k = params.k();
+    let c = params.c();
+    let derivative = |t: f64, y1: f64, y2: f64| -> (f64, f64) {
+        let h1 = y1 / c;
+        let h2 = y2 / (1.0 - c);
+        let flow = k * (h2 - h1);
+        (-load(t) + flow, -flow)
+    };
+
+    let mut y1 = state.available();
+    let mut y2 = state.bound();
+    let mut t = 0.0_f64;
+    while t < duration {
+        if y1 <= CHARGE_EPSILON {
+            return Ok(IntegrationOutcome {
+                state: TwoWellState::new_unchecked(y1.max(0.0), y2.max(0.0)),
+                time: t,
+                empty: true,
+            });
+        }
+        let h = dt.min(duration - t);
+        let abs_t = t0 + t;
+        let (k1a, k1b) = derivative(abs_t, y1, y2);
+        let (k2a, k2b) = derivative(abs_t + 0.5 * h, y1 + 0.5 * h * k1a, y2 + 0.5 * h * k1b);
+        let (k3a, k3b) = derivative(abs_t + 0.5 * h, y1 + 0.5 * h * k2a, y2 + 0.5 * h * k2b);
+        let (k4a, k4b) = derivative(abs_t + h, y1 + h * k3a, y2 + h * k3b);
+        y1 += h / 6.0 * (k1a + 2.0 * k2a + 2.0 * k3a + k4a);
+        y2 += h / 6.0 * (k1b + 2.0 * k2b + 2.0 * k3b + k4b);
+        t += h;
+    }
+    let empty = y1 <= CHARGE_EPSILON;
+    Ok(IntegrationOutcome {
+        state: TwoWellState::new_unchecked(y1.max(0.0), y2.max(0.0)),
+        time: t,
+        empty,
+    })
+}
+
+/// Integrates until the battery becomes empty, or gives up after `max_time`
+/// minutes.
+///
+/// Returns `Ok(None)` if the battery has not emptied within `max_time`.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`integrate`].
+pub fn lifetime_numeric<F>(
+    params: &BatteryParams,
+    load: F,
+    dt: f64,
+    max_time: f64,
+) -> Result<Option<f64>, KibamError>
+where
+    F: Fn(f64) -> f64,
+{
+    let outcome = integrate(params, params.full_state(), 0.0, max_time, dt, load)?;
+    Ok(if outcome.empty { Some(outcome.time) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+    use crate::TransformedState;
+
+    fn b1() -> BatteryParams {
+        BatteryParams::itsy_b1()
+    }
+
+    #[test]
+    fn rejects_invalid_steps_and_durations() {
+        let params = b1();
+        let full = params.full_state();
+        assert!(integrate(&params, full, 0.0, -1.0, 0.01, |_| 0.0).is_err());
+        assert!(integrate(&params, full, 0.0, 1.0, 0.0, |_| 0.0).is_err());
+        assert!(integrate(&params, full, 0.0, 1.0, f64::NAN, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn total_charge_conserved_under_zero_load() {
+        let params = b1();
+        let outcome = integrate(&params, params.full_state(), 0.0, 10.0, 0.01, |_| 0.0).unwrap();
+        assert!(!outcome.empty);
+        assert!((outcome.state.total() - params.capacity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numeric_matches_analytic_for_constant_current() {
+        let params = b1();
+        let current = 0.3;
+        let outcome =
+            integrate(&params, params.full_state(), 0.0, 1.5, 0.001, |_| current).unwrap();
+        let analytic_state = analytic::evolve(
+            &params,
+            TransformedState::full(&params),
+            current,
+            1.5,
+        )
+        .unwrap()
+        .to_two_well(&params);
+        assert!((outcome.state.available() - analytic_state.available()).abs() < 1e-6);
+        assert!((outcome.state.bound() - analytic_state.bound()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numeric_lifetime_matches_analytic_lifetime() {
+        let params = b1();
+        let analytic_lifetime = analytic::lifetime_constant_current(&params, 0.25)
+            .unwrap()
+            .unwrap();
+        let numeric_lifetime = lifetime_numeric(&params, |_| 0.25, 0.0005, 100.0)
+            .unwrap()
+            .unwrap();
+        assert!(
+            (analytic_lifetime - numeric_lifetime).abs() < 0.01,
+            "analytic {analytic_lifetime} vs numeric {numeric_lifetime}"
+        );
+    }
+
+    #[test]
+    fn recovery_moves_bound_charge_to_available() {
+        let params = b1();
+        // Discharge hard, then rest.
+        let after_burst =
+            integrate(&params, params.full_state(), 0.0, 1.0, 0.001, |_| 0.7).unwrap();
+        assert!(!after_burst.empty);
+        let rested = integrate(&params, after_burst.state, 1.0, 5.0, 0.001, |_| 0.0).unwrap();
+        assert!(rested.state.available() > after_burst.state.available());
+        assert!(rested.state.bound() < after_burst.state.bound());
+        assert!((rested.state.total() - after_burst.state.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_varying_load_is_sampled() {
+        let params = b1();
+        // A load that is 0.5 A for the first minute and zero afterwards.
+        let load = |t: f64| if t < 1.0 { 0.5 } else { 0.0 };
+        let outcome = integrate(&params, params.full_state(), 0.0, 3.0, 0.001, load).unwrap();
+        // The load discontinuity at t = 1 is smeared over one RK4 step, so
+        // allow a step-sized tolerance on the drawn charge.
+        assert!((outcome.state.total() - (params.capacity() - 0.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lifetime_none_when_horizon_too_short() {
+        let params = b1();
+        assert_eq!(lifetime_numeric(&params, |_| 0.25, 0.001, 1.0).unwrap(), None);
+    }
+}

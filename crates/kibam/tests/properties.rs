@@ -1,0 +1,110 @@
+//! Property-based tests of the continuous KiBaM invariants.
+
+use kibam::analytic::{evolve, time_to_empty};
+use kibam::lifetime::{lifetime_for_segments, Segment};
+use kibam::{BatteryParams, TransformedState};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = BatteryParams> {
+    (0.5f64..50.0, 0.05f64..0.95, 0.01f64..2.0)
+        .prop_map(|(cap, c, k)| BatteryParams::new(cap, c, k).expect("valid params"))
+}
+
+proptest! {
+    /// Total charge is conserved: whatever is drawn plus whatever remains
+    /// equals the initial charge.
+    #[test]
+    fn charge_conservation(
+        params in params_strategy(),
+        current in 0.0f64..2.0,
+        duration in 0.0f64..30.0,
+    ) {
+        let full = TransformedState::full(&params);
+        let after = evolve(&params, full, current, duration).unwrap();
+        let drawn = current * duration;
+        prop_assert!((full.gamma - after.gamma - drawn).abs() < 1e-9);
+    }
+
+    /// The height difference never becomes negative when starting from a
+    /// non-negative one, and relaxes towards zero under zero load.
+    #[test]
+    fn height_difference_nonnegative_and_relaxing(
+        params in params_strategy(),
+        current in 0.0f64..2.0,
+        duration in 0.0f64..30.0,
+        rest in 0.0f64..60.0,
+    ) {
+        let full = TransformedState::full(&params);
+        let loaded = evolve(&params, full, current, duration).unwrap();
+        prop_assert!(loaded.delta >= -1e-12);
+        let rested = evolve(&params, loaded, 0.0, rest).unwrap();
+        prop_assert!(rested.delta <= loaded.delta + 1e-12);
+        prop_assert!(rested.delta >= -1e-12);
+    }
+
+    /// Coordinate transformation round-trips.
+    #[test]
+    fn coordinate_round_trip(
+        params in params_strategy(),
+        available in 0.0f64..10.0,
+        bound in 0.0f64..10.0,
+    ) {
+        let state = kibam::TwoWellState::new(available, bound).unwrap();
+        let back = state.to_transformed(&params).to_two_well(&params);
+        prop_assert!((back.available() - available).abs() < 1e-8);
+        prop_assert!((back.bound() - bound).abs() < 1e-8);
+    }
+
+    /// Lifetime is antitone in the discharge current: a strictly larger
+    /// constant current can never yield a longer lifetime.
+    #[test]
+    fn lifetime_antitone_in_current(
+        params in params_strategy(),
+        base in 0.05f64..1.0,
+        extra in 0.01f64..1.0,
+    ) {
+        let full = TransformedState::full(&params);
+        let low = time_to_empty(&params, full, base).unwrap().unwrap();
+        let high = time_to_empty(&params, full, base + extra).unwrap().unwrap();
+        prop_assert!(high <= low + 1e-9);
+    }
+
+    /// The delivered charge never exceeds the capacity, and the lifetime
+    /// never exceeds the ideal-battery lifetime C / I.
+    #[test]
+    fn rate_capacity_bounds(
+        params in params_strategy(),
+        current in 0.05f64..2.0,
+    ) {
+        let lifetime = time_to_empty(&params, TransformedState::full(&params), current)
+            .unwrap()
+            .unwrap();
+        prop_assert!(current * lifetime <= params.capacity() + 1e-9);
+        prop_assert!(lifetime <= params.capacity() / current + 1e-9);
+    }
+
+    /// Inserting an idle period into a load never shortens the lifetime by
+    /// more than the idle duration itself and never reduces the delivered
+    /// charge (the recovery effect).
+    #[test]
+    fn idle_period_never_reduces_delivered_charge(
+        params in params_strategy(),
+        current in 0.1f64..1.0,
+        idle in 0.1f64..5.0,
+    ) {
+        let job = Segment::new(current, 1.0).unwrap();
+        let continuous = lifetime_for_segments(&params, std::iter::repeat(job)).unwrap();
+        let idle_seg = Segment::idle(idle).unwrap();
+        let intermittent = lifetime_for_segments(
+            &params,
+            std::iter::repeat([job, idle_seg]).flatten(),
+        )
+        .unwrap();
+        prop_assert!(
+            intermittent.delivered_charge >= continuous.delivered_charge - 1e-9,
+            "recovery must not reduce the deliverable charge: {} vs {}",
+            intermittent.delivered_charge,
+            continuous.delivered_charge
+        );
+    }
+}

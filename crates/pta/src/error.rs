@@ -1,0 +1,130 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or analysing a network of priced timed
+/// automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PtaError {
+    /// A location identifier referred to a location that does not exist in
+    /// the automaton it was used with.
+    UnknownLocation {
+        /// The automaton name.
+        automaton: String,
+        /// The offending location index.
+        location: usize,
+    },
+    /// A variable identifier was out of range for the network.
+    UnknownVariable {
+        /// The offending variable index.
+        variable: usize,
+    },
+    /// A constant-array identifier was out of range for the network.
+    UnknownArray {
+        /// The offending array index.
+        array: usize,
+    },
+    /// A clock identifier was out of range for the network.
+    UnknownClock {
+        /// The offending clock index.
+        clock: usize,
+    },
+    /// A channel identifier was out of range for the network.
+    UnknownChannel {
+        /// The offending channel index.
+        channel: usize,
+    },
+    /// An array was indexed outside its bounds while evaluating an
+    /// expression.
+    IndexOutOfBounds {
+        /// The array that was indexed.
+        array: usize,
+        /// The evaluated index.
+        index: i64,
+        /// The array length.
+        length: usize,
+    },
+    /// The network contains no automata.
+    EmptyNetwork,
+    /// A cost (edge cost or location rate) evaluated to a negative value;
+    /// minimum-cost reachability requires non-negative costs.
+    NegativeCost {
+        /// The offending value.
+        value: i64,
+    },
+    /// The initial state violates a location invariant.
+    InitialInvariantViolated {
+        /// The automaton whose invariant is violated.
+        automaton: String,
+    },
+    /// The exploration exceeded its state limit before reaching the goal.
+    StateLimitExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A binary channel send had no matching receiver and can never fire;
+    /// reported during validation when requested.
+    DanglingBinarySend {
+        /// The channel index.
+        channel: usize,
+    },
+}
+
+impl fmt::Display for PtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtaError::UnknownLocation { automaton, location } => {
+                write!(f, "automaton '{automaton}' has no location with index {location}")
+            }
+            PtaError::UnknownVariable { variable } => {
+                write!(f, "unknown variable index {variable}")
+            }
+            PtaError::UnknownArray { array } => write!(f, "unknown constant array index {array}"),
+            PtaError::UnknownClock { clock } => write!(f, "unknown clock index {clock}"),
+            PtaError::UnknownChannel { channel } => write!(f, "unknown channel index {channel}"),
+            PtaError::IndexOutOfBounds { array, index, length } => write!(
+                f,
+                "index {index} out of bounds for constant array {array} of length {length}"
+            ),
+            PtaError::EmptyNetwork => write!(f, "the network contains no automata"),
+            PtaError::NegativeCost { value } => {
+                write!(f, "costs must be non-negative, evaluated to {value}")
+            }
+            PtaError::InitialInvariantViolated { automaton } => {
+                write!(f, "initial location invariant of automaton '{automaton}' is violated")
+            }
+            PtaError::StateLimitExceeded { limit } => {
+                write!(f, "state exploration exceeded the limit of {limit} states")
+            }
+            PtaError::DanglingBinarySend { channel } => {
+                write!(f, "binary channel {channel} has a send edge but no receive edge")
+            }
+        }
+    }
+}
+
+impl Error for PtaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_facts() {
+        let e = PtaError::UnknownLocation { automaton: "lamp".into(), location: 7 };
+        assert!(e.to_string().contains("lamp"));
+        assert!(e.to_string().contains('7'));
+        assert!(PtaError::EmptyNetwork.to_string().contains("no automata"));
+        assert!(PtaError::NegativeCost { value: -3 }.to_string().contains("-3"));
+        assert!(PtaError::StateLimitExceeded { limit: 10 }.to_string().contains("10"));
+        assert!(PtaError::IndexOutOfBounds { array: 1, index: 9, length: 4 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn implements_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<PtaError>();
+    }
+}

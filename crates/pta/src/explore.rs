@@ -1,0 +1,212 @@
+//! Plain (uncosted) state-space exploration: reachability checking.
+//!
+//! The paper checks the TCTL property `A[] not max.done` and lets Cora
+//! return a counterexample. The equivalent operation here is
+//! [`reachable`]: breadth-first search for a state satisfying a goal
+//! predicate. The priced variant — which also returns the cheapest witness —
+//! lives in [`crate::mincost`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::network::Network;
+use crate::semantics::{Semantics, TransitionLabel};
+use crate::state::State;
+use crate::trace::{Trace, TraceStep};
+use crate::PtaError;
+
+/// The outcome of a reachability query.
+#[derive(Debug, Clone)]
+pub struct ReachabilityResult {
+    /// A goal state, if one is reachable.
+    pub goal_state: Option<State>,
+    /// A witness trace to the goal state, if one is reachable.
+    pub trace: Option<Trace>,
+    /// The number of distinct states visited during the search.
+    pub states_explored: usize,
+}
+
+impl ReachabilityResult {
+    /// Whether a goal state was found.
+    #[must_use]
+    pub fn is_reachable(&self) -> bool {
+        self.goal_state.is_some()
+    }
+}
+
+/// Breadth-first reachability: searches for a state satisfying `goal`,
+/// exploring at most `state_limit` distinct states.
+///
+/// # Errors
+///
+/// Returns [`PtaError::StateLimitExceeded`] if the limit is hit before the
+/// search space is exhausted or the goal is found, and propagates model
+/// evaluation errors.
+pub fn reachable<G>(
+    network: &Network,
+    goal: G,
+    state_limit: usize,
+) -> Result<ReachabilityResult, PtaError>
+where
+    G: Fn(&State) -> bool,
+{
+    let semantics = Semantics::new(network)?;
+    let initial = semantics.initial_state()?;
+
+    if goal(&initial) {
+        return Ok(ReachabilityResult {
+            goal_state: Some(initial),
+            trace: Some(Trace::new()),
+            states_explored: 1,
+        });
+    }
+
+    // Nodes store states plus back-pointers for trace reconstruction.
+    let mut nodes: Vec<(State, Option<(usize, TransitionLabel)>)> = vec![(initial.clone(), None)];
+    let mut visited: HashSet<_> = HashSet::new();
+    visited.insert(initial.key());
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(node_index) = queue.pop_front() {
+        let state = nodes[node_index].0.clone();
+        for (label, successor) in semantics.successors(&state)? {
+            let key = successor.key();
+            if visited.contains(&key) {
+                continue;
+            }
+            visited.insert(key);
+            if visited.len() > state_limit {
+                return Err(PtaError::StateLimitExceeded { limit: state_limit });
+            }
+            let successor_index = nodes.len();
+            let is_goal = goal(&successor);
+            nodes.push((successor, Some((node_index, label))));
+            if is_goal {
+                let trace = rebuild_trace(&nodes, successor_index);
+                return Ok(ReachabilityResult {
+                    goal_state: Some(nodes[successor_index].0.clone()),
+                    trace: Some(trace),
+                    states_explored: visited.len(),
+                });
+            }
+            queue.push_back(successor_index);
+        }
+    }
+
+    Ok(ReachabilityResult { goal_state: None, trace: None, states_explored: visited.len() })
+}
+
+/// Counts the number of distinct reachable states (up to `state_limit`).
+///
+/// # Errors
+///
+/// Returns [`PtaError::StateLimitExceeded`] if more than `state_limit`
+/// states are reachable, and propagates model evaluation errors.
+pub fn count_reachable_states(network: &Network, state_limit: usize) -> Result<usize, PtaError> {
+    let result = reachable(network, |_| false, state_limit)?;
+    Ok(result.states_explored)
+}
+
+pub(crate) fn rebuild_trace(
+    nodes: &[(State, Option<(usize, TransitionLabel)>)],
+    mut index: usize,
+) -> Trace {
+    let mut steps = Vec::new();
+    while let Some((parent, label)) = nodes[index].1.clone() {
+        steps.push(TraceStep { label, state: nodes[index].0.clone() });
+        index = parent;
+    }
+    steps.reverse();
+    Trace { steps }
+}
+
+/// Map-based variant of the visited bookkeeping shared with the min-cost
+/// search; exposed for white-box tests.
+#[allow(dead_code)]
+pub(crate) type BestCosts = HashMap<crate::state::StateKey, u64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Automaton, Edge, Location};
+    use crate::expr::{BoolExpr, IntExpr};
+    use crate::network::ChannelKind;
+
+    /// Two automata: a producer that can emit up to three items and a
+    /// consumer that counts them.
+    fn producer_consumer() -> (Network, crate::expr::VarId) {
+        let mut network = Network::new();
+        let item = network.add_channel("item", ChannelKind::Binary);
+        let produced = network.add_var("produced", 0);
+        let consumed = network.add_var("consumed", 0);
+
+        let mut producer = Automaton::new("producer");
+        let p = producer.add_location(Location::new("p"));
+        producer
+            .add_edge(
+                Edge::new(p, p)
+                    .with_guard(BoolExpr::cmp(produced, crate::expr::CmpOp::Lt, 3))
+                    .with_send(item)
+                    .with_update(produced, IntExpr::var(produced).add(IntExpr::constant(1))),
+            )
+            .unwrap();
+        network.add_automaton(producer).unwrap();
+
+        let mut consumer = Automaton::new("consumer");
+        let c = consumer.add_location(Location::new("c"));
+        consumer
+            .add_edge(
+                Edge::new(c, c)
+                    .with_receive(item)
+                    .with_update(consumed, IntExpr::var(consumed).add(IntExpr::constant(1))),
+            )
+            .unwrap();
+        network.add_automaton(consumer).unwrap();
+        (network, consumed)
+    }
+
+    #[test]
+    fn finds_reachable_goal_with_trace() {
+        let (network, consumed) = producer_consumer();
+        let result = reachable(&network, |s| s.var(consumed) == Some(3), 10_000).unwrap();
+        assert!(result.is_reachable());
+        let trace = result.trace.unwrap();
+        assert_eq!(trace.actions().count(), 3);
+        assert_eq!(result.goal_state.unwrap().var(consumed), Some(3));
+    }
+
+    #[test]
+    fn unreachable_goal_reports_explored_states() {
+        let (network, consumed) = producer_consumer();
+        let result = reachable(&network, |s| s.var(consumed) == Some(10), 10_000).unwrap();
+        assert!(!result.is_reachable());
+        assert!(result.trace.is_none());
+        assert!(result.states_explored >= 4);
+    }
+
+    #[test]
+    fn goal_satisfied_by_initial_state() {
+        let (network, _) = producer_consumer();
+        let result = reachable(&network, |_| true, 10).unwrap();
+        assert!(result.is_reachable());
+        assert!(result.trace.unwrap().is_empty());
+        assert_eq!(result.states_explored, 1);
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let (network, consumed) = producer_consumer();
+        let result = reachable(&network, |s| s.var(consumed) == Some(3), 2);
+        assert!(matches!(result, Err(PtaError::StateLimitExceeded { limit: 2 })));
+    }
+
+    #[test]
+    fn count_reachable_states_counts_everything() {
+        let (network, _) = producer_consumer();
+        // States: produced/consumed = 0..=3 plus unbounded time? No clocks,
+        // no invariants -> delay leads to identical keys (clocks are empty),
+        // so exactly 4 distinct states exist.
+        let count = count_reachable_states(&network, 1_000).unwrap();
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimum-cost reachability — the core service Uppaal Cora provides to the
+//! paper.
+//!
+//! Given a network whose locations carry cost rates and whose edges carry
+//! cost updates, [`min_cost_reachability`] finds a goal state with the least
+//! accumulated cost and returns the witness trace. For the TA-KiBaM, the
+//! goal is "all batteries empty" and the cost is the charge left behind in
+//! the batteries, so the cheapest path is the longest-lived schedule
+//! (Section 4.3 of the paper).
+//!
+//! The search is a uniform-cost (Dijkstra) search over the discrete state
+//! space: costs are non-negative by construction (negative costs are
+//! rejected during successor computation), so the first time a goal state is
+//! popped from the frontier its cost is optimal.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::network::Network;
+use crate::semantics::{Semantics, TransitionLabel};
+use crate::state::{State, StateKey};
+use crate::trace::Trace;
+use crate::PtaError;
+
+/// The outcome of a successful minimum-cost reachability query.
+#[derive(Debug, Clone)]
+pub struct MinCostResult {
+    /// The minimal accumulated cost over all paths to a goal state.
+    pub cost: u64,
+    /// The goal state that realises the minimal cost.
+    pub goal_state: State,
+    /// The witness trace from the initial state to the goal state.
+    pub trace: Trace,
+    /// The number of distinct states settled during the search.
+    pub states_explored: usize,
+}
+
+/// Finds a cheapest path (with respect to accumulated cost) from the initial
+/// state to a state satisfying `goal`, exploring at most `state_limit`
+/// distinct states.
+///
+/// Returns `Ok(None)` if no goal state is reachable.
+///
+/// # Errors
+///
+/// Returns [`PtaError::StateLimitExceeded`] if the limit is exceeded, and
+/// propagates model validation/evaluation errors.
+pub fn min_cost_reachability<G>(
+    network: &Network,
+    goal: G,
+    state_limit: usize,
+) -> Result<Option<MinCostResult>, PtaError>
+where
+    G: Fn(&State) -> bool,
+{
+    let semantics = Semantics::new(network)?;
+    let initial = semantics.initial_state()?;
+
+    // Node arena with back-pointers for trace reconstruction.
+    let mut nodes: Vec<(State, Option<(usize, TransitionLabel)>)> = vec![(initial.clone(), None)];
+    // Best known cost per state identity.
+    let mut best: HashMap<StateKey, u64> = HashMap::new();
+    best.insert(initial.key(), 0);
+    // Frontier ordered by (cost, node index) — the index breaks ties
+    // deterministically.
+    let mut frontier: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    frontier.push(Reverse((0, 0)));
+    let mut settled = 0usize;
+
+    while let Some(Reverse((cost, node_index))) = frontier.pop() {
+        let state = nodes[node_index].0.clone();
+        // Skip stale frontier entries.
+        if best.get(&state.key()).copied().unwrap_or(u64::MAX) < cost {
+            continue;
+        }
+        settled += 1;
+        if goal(&state) {
+            let trace = crate::explore::rebuild_trace(&nodes, node_index);
+            return Ok(Some(MinCostResult {
+                cost,
+                goal_state: state,
+                trace,
+                states_explored: settled,
+            }));
+        }
+        for (label, successor) in semantics.successors(&state)? {
+            let key = successor.key();
+            let successor_cost = successor.cost();
+            let known = best.get(&key).copied();
+            if known.map(|c| successor_cost >= c).unwrap_or(false) {
+                continue;
+            }
+            best.insert(key, successor_cost);
+            if best.len() > state_limit {
+                return Err(PtaError::StateLimitExceeded { limit: state_limit });
+            }
+            let successor_index = nodes.len();
+            nodes.push((successor, Some((node_index, label))));
+            frontier.push(Reverse((successor_cost, successor_index)));
+        }
+    }
+
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Automaton, Edge, Location};
+    use crate::expr::{BoolExpr, CmpOp, IntExpr};
+
+    /// A chooser automaton with two ways to reach `done`: an expensive
+    /// immediate edge (cost 10) and a cheap one (cost 1) that only opens
+    /// after waiting 3 time steps in a location with cost rate 2.
+    /// Cheapest path: wait 3 (cost 6) + cheap edge (1) = 7 < 10.
+    fn chooser() -> (Network, crate::network::AutomatonId, crate::automaton::LocationId) {
+        let mut network = Network::new();
+        let x = network.add_clock("x");
+        let mut automaton = Automaton::new("chooser");
+        let start = automaton.add_location(Location::new("start").with_cost_rate(IntExpr::constant(2)));
+        let done = automaton.add_location(Location::new("done"));
+        automaton
+            .add_edge(Edge::new(start, done).with_cost(IntExpr::constant(10)))
+            .unwrap();
+        automaton
+            .add_edge(
+                Edge::new(start, done)
+                    .with_guard(BoolExpr::clock_ge(x, IntExpr::constant(3)))
+                    .with_cost(IntExpr::constant(1)),
+            )
+            .unwrap();
+        automaton.set_initial(start).unwrap();
+        let id = network.add_automaton(automaton).unwrap();
+        (network, id, done)
+    }
+
+    #[test]
+    fn picks_the_cheaper_of_two_strategies() {
+        let (network, id, done) = chooser();
+        let result = min_cost_reachability(&network, |s| s.location(id) == done, 100_000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(result.cost, 7);
+        // Three delays plus one action.
+        assert_eq!(result.trace.delay_steps(), 3);
+        assert_eq!(result.trace.action_steps(), 1);
+        assert_eq!(result.goal_state.time(), 3);
+    }
+
+    #[test]
+    fn expensive_edge_wins_when_waiting_is_pricier() {
+        // Same model but with a much higher cost rate: waiting 3 steps would
+        // cost 30, so the immediate edge (10) is optimal.
+        let mut network = Network::new();
+        let x = network.add_clock("x");
+        let mut automaton = Automaton::new("chooser");
+        let start =
+            automaton.add_location(Location::new("start").with_cost_rate(IntExpr::constant(10)));
+        let done = automaton.add_location(Location::new("done"));
+        automaton.add_edge(Edge::new(start, done).with_cost(IntExpr::constant(10))).unwrap();
+        automaton
+            .add_edge(
+                Edge::new(start, done)
+                    .with_guard(BoolExpr::clock_ge(x, IntExpr::constant(3)))
+                    .with_cost(IntExpr::constant(1)),
+            )
+            .unwrap();
+        let id = network.add_automaton(automaton).unwrap();
+        let result = min_cost_reachability(&network, |s| s.location(id) == done, 100_000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(result.cost, 10);
+        assert_eq!(result.trace.delay_steps(), 0);
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        // A clock-free automaton whose second location has no incoming edge:
+        // the state space is finite and the goal is unreachable.
+        let mut network = Network::new();
+        let mut automaton = Automaton::new("stuck");
+        let start = automaton.add_location(Location::new("start"));
+        let unreachable = automaton.add_location(Location::new("unreachable"));
+        automaton.add_edge(Edge::new(start, start)).unwrap();
+        let id = network.add_automaton(automaton).unwrap();
+        let result =
+            min_cost_reachability(&network, |s| s.location(id) == unreachable, 10_000).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let (network, id, done) = chooser();
+        let result = min_cost_reachability(&network, |s| s.location(id) == done, 1);
+        assert!(matches!(result, Err(PtaError::StateLimitExceeded { limit: 1 })));
+    }
+
+    #[test]
+    fn goal_in_initial_state_costs_nothing() {
+        let (network, id, _) = chooser();
+        let start = crate::automaton::LocationId::from_index(0);
+        let result = min_cost_reachability(&network, |s| s.location(id) == start, 10)
+            .unwrap()
+            .unwrap();
+        assert_eq!(result.cost, 0);
+        assert!(result.trace.is_empty());
+    }
+
+    #[test]
+    fn cost_rate_depends_on_variables() {
+        // The cost rate references a variable that an edge can lower before
+        // waiting; the optimal strategy lowers it first.
+        let mut network = Network::new();
+        let x = network.add_clock("x");
+        let rate = network.add_var("rate", 5);
+        let mut automaton = Automaton::new("saver");
+        let start = automaton.add_location(
+            Location::new("start")
+                .with_cost_rate(IntExpr::var(rate))
+                .with_invariant(BoolExpr::clock_le(x, IntExpr::constant(4))),
+        );
+        let done = automaton.add_location(Location::new("done"));
+        // Lower the rate (can be taken immediately, costs nothing).
+        automaton
+            .add_edge(
+                Edge::new(start, start)
+                    .with_guard(BoolExpr::cmp(rate, CmpOp::Eq, 5))
+                    .with_update(rate, IntExpr::constant(1)),
+            )
+            .unwrap();
+        // Leave after 4 time steps.
+        automaton
+            .add_edge(Edge::new(start, done).with_guard(BoolExpr::clock_ge(x, IntExpr::constant(4))))
+            .unwrap();
+        let id = network.add_automaton(automaton).unwrap();
+        let result = min_cost_reachability(&network, |s| s.location(id) == done, 100_000)
+            .unwrap()
+            .unwrap();
+        // Optimal: drop the rate to 1 immediately, then wait 4 steps -> 4.
+        assert_eq!(result.cost, 4);
+    }
+}

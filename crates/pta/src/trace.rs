@@ -1,0 +1,114 @@
+//! Traces (runs) through the state space of a network.
+//!
+//! A trace is the witness returned by the analyses in [`crate::explore`] and
+//! [`crate::mincost`]: the sequence of transitions from the initial state to
+//! a goal state. For the battery model, the minimum-cost trace *is* the
+//! optimal battery schedule (Section 3.2 of the paper: "the path is the
+//! schedule").
+
+use crate::semantics::TransitionLabel;
+use crate::state::State;
+
+/// One step of a trace: the transition taken and the state it leads to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// The transition label.
+    pub label: TransitionLabel,
+    /// The state reached after the transition.
+    pub state: State,
+}
+
+/// A run through the state space, starting from the network's initial state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// The steps of the run, in order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace (a run that stays in the initial state).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of transitions in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace contains no transitions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The number of delay transitions, i.e. the total elapsed time steps.
+    #[must_use]
+    pub fn delay_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.label == TransitionLabel::Delay).count()
+    }
+
+    /// The number of action (non-delay) transitions.
+    #[must_use]
+    pub fn action_steps(&self) -> usize {
+        self.len() - self.delay_steps()
+    }
+
+    /// The final state of the trace, if it has any steps.
+    #[must_use]
+    pub fn last_state(&self) -> Option<&State> {
+        self.steps.last().map(|s| &s.state)
+    }
+
+    /// Iterates over the action transitions only, skipping delays.
+    pub fn actions(&self) -> impl Iterator<Item = &TraceStep> {
+        self.steps.iter().filter(|s| s.label != TransitionLabel::Delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::LocationId;
+    use crate::network::AutomatonId;
+
+    fn dummy_state(time: u64) -> State {
+        State {
+            locations: vec![LocationId::from_index(0)],
+            clocks: vec![time],
+            vars: vec![],
+            cost: 0,
+            time,
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = Trace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+        assert_eq!(trace.delay_steps(), 0);
+        assert!(trace.last_state().is_none());
+    }
+
+    #[test]
+    fn counts_delays_and_actions() {
+        let trace = Trace {
+            steps: vec![
+                TraceStep { label: TransitionLabel::Delay, state: dummy_state(1) },
+                TraceStep {
+                    label: TransitionLabel::Internal { automaton: AutomatonId(0), edge: 0 },
+                    state: dummy_state(1),
+                },
+                TraceStep { label: TransitionLabel::Delay, state: dummy_state(2) },
+            ],
+        };
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.delay_steps(), 2);
+        assert_eq!(trace.action_steps(), 1);
+        assert_eq!(trace.actions().count(), 1);
+        assert_eq!(trace.last_state().unwrap().time(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fluent construction of load profiles.
+
+use crate::{Epoch, LoadProfile, WorkloadError};
+
+/// A builder for [`LoadProfile`]s.
+///
+/// Epochs are appended with [`job`](LoadProfileBuilder::job) and
+/// [`idle`](LoadProfileBuilder::idle); invalid values are remembered and
+/// reported when the profile is finally built, which keeps call chains tidy.
+///
+/// # Example
+///
+/// ```
+/// use workload::builder::LoadProfileBuilder;
+///
+/// # fn main() -> Result<(), workload::WorkloadError> {
+/// // The paper's "ILs alt" pattern: alternate 500 mA and 250 mA one-minute
+/// // jobs with one-minute idle periods, repeated forever.
+/// let profile = LoadProfileBuilder::new()
+///     .job(0.5, 1.0)
+///     .idle(1.0)
+///     .job(0.25, 1.0)
+///     .idle(1.0)
+///     .build_cyclic()?;
+/// assert_eq!(profile.pattern().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoadProfileBuilder {
+    epochs: Vec<Epoch>,
+    error: Option<WorkloadError>,
+}
+
+impl LoadProfileBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job epoch drawing `current` amperes for `duration` minutes.
+    #[must_use]
+    pub fn job(mut self, current: f64, duration: f64) -> Self {
+        self.push(Epoch::job(current, duration));
+        self
+    }
+
+    /// Appends an idle epoch of `duration` minutes.
+    #[must_use]
+    pub fn idle(mut self, duration: f64) -> Self {
+        self.push(Epoch::idle(duration));
+        self
+    }
+
+    /// Appends an already-constructed epoch.
+    #[must_use]
+    pub fn epoch(mut self, epoch: Epoch) -> Self {
+        self.epochs.push(epoch);
+        self
+    }
+
+    /// Appends `count` repetitions of the epochs accumulated so far.
+    ///
+    /// Useful for building long finite loads out of a short pattern, e.g.
+    /// `builder.job(..).idle(..).repeat_pattern(100)`.
+    #[must_use]
+    pub fn repeat_pattern(mut self, count: usize) -> Self {
+        let pattern = self.epochs.clone();
+        for _ in 1..count.max(1) {
+            self.epochs.extend_from_slice(&pattern);
+        }
+        self
+    }
+
+    /// Builds a finite profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first epoch-construction error encountered, or
+    /// [`WorkloadError::EmptyProfile`] if no epochs were added.
+    pub fn build_finite(self) -> Result<LoadProfile, WorkloadError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        LoadProfile::finite(self.epochs)
+    }
+
+    /// Builds a cyclic profile that repeats the accumulated epochs forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first epoch-construction error encountered,
+    /// [`WorkloadError::EmptyProfile`] if no epochs were added, or
+    /// [`WorkloadError::IdleCycle`] if the pattern draws no charge.
+    pub fn build_cyclic(self) -> Result<LoadProfile, WorkloadError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        LoadProfile::cyclic(self.epochs)
+    }
+
+    fn push(&mut self, epoch: Result<Epoch, WorkloadError>) {
+        match epoch {
+            Ok(epoch) => self.epochs.push(epoch),
+            Err(error) => {
+                if self.error.is_none() {
+                    self.error = Some(error);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_finite_and_cyclic_profiles() {
+        let finite = LoadProfileBuilder::new()
+            .job(0.25, 1.0)
+            .idle(2.0)
+            .build_finite()
+            .unwrap();
+        assert_eq!(finite.pattern().len(), 2);
+        assert!(!finite.is_cyclic());
+
+        let cyclic = LoadProfileBuilder::new()
+            .job(0.5, 1.0)
+            .idle(1.0)
+            .build_cyclic()
+            .unwrap();
+        assert!(cyclic.is_cyclic());
+    }
+
+    #[test]
+    fn first_error_is_reported() {
+        let result = LoadProfileBuilder::new()
+            .job(-1.0, 1.0)
+            .idle(-2.0)
+            .build_finite();
+        assert!(matches!(result, Err(WorkloadError::InvalidCurrent { .. })));
+    }
+
+    #[test]
+    fn empty_builder_reports_empty_profile() {
+        assert!(matches!(
+            LoadProfileBuilder::new().build_finite(),
+            Err(WorkloadError::EmptyProfile)
+        ));
+    }
+
+    #[test]
+    fn repeat_pattern_multiplies_epochs() {
+        let profile = LoadProfileBuilder::new()
+            .job(0.5, 1.0)
+            .idle(1.0)
+            .repeat_pattern(3)
+            .build_finite()
+            .unwrap();
+        assert_eq!(profile.pattern().len(), 6);
+        assert_eq!(profile.total_charge(), Some(1.5));
+    }
+
+    #[test]
+    fn repeat_pattern_of_zero_keeps_single_copy() {
+        let profile = LoadProfileBuilder::new()
+            .job(0.5, 1.0)
+            .repeat_pattern(0)
+            .build_finite()
+            .unwrap();
+        assert_eq!(profile.pattern().len(), 1);
+    }
+
+    #[test]
+    fn epoch_method_appends_preconstructed_epoch() {
+        let epoch = Epoch::job(0.7, 0.5).unwrap();
+        let profile = LoadProfileBuilder::new().epoch(epoch).build_finite().unwrap();
+        assert_eq!(profile.pattern()[0], epoch);
+    }
+}

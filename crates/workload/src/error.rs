@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing load profiles.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// An epoch current was negative, NaN or infinite.
+    InvalidCurrent {
+        /// The rejected current (A).
+        value: f64,
+    },
+    /// An epoch duration was non-positive, NaN or infinite.
+    InvalidDuration {
+        /// The rejected duration (min).
+        value: f64,
+    },
+    /// A profile (or cyclic pattern) contained no epochs.
+    EmptyProfile,
+    /// A cyclic profile was requested but its pattern draws no charge, so it
+    /// could repeat forever without ever exercising a battery.
+    IdleCycle,
+    /// A horizon or charge bound used to truncate a profile was invalid.
+    InvalidBound {
+        /// The rejected bound.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidCurrent { value } => {
+                write!(f, "epoch current must be non-negative and finite, got {value}")
+            }
+            WorkloadError::InvalidDuration { value } => {
+                write!(f, "epoch duration must be positive and finite, got {value}")
+            }
+            WorkloadError::EmptyProfile => write!(f, "a load profile needs at least one epoch"),
+            WorkloadError::IdleCycle => {
+                write!(f, "a cyclic load pattern must draw charge in at least one epoch")
+            }
+            WorkloadError::InvalidBound { value } => {
+                write!(f, "truncation bound must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(WorkloadError::InvalidCurrent { value: -1.0 }.to_string().contains("-1"));
+        assert!(WorkloadError::InvalidDuration { value: 0.0 }.to_string().contains('0'));
+        assert!(WorkloadError::EmptyProfile.to_string().contains("at least one"));
+        assert!(WorkloadError::IdleCycle.to_string().contains("cyclic"));
+        assert!(WorkloadError::InvalidBound { value: -2.0 }.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn implements_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<WorkloadError>();
+    }
+}

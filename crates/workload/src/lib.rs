@@ -1,0 +1,43 @@
+//! Load and workload models for battery scheduling.
+//!
+//! The battery-scheduling paper (Jongerden et al., DSN 2009) drives its
+//! batteries with *loads*: sequences of constant-current **jobs** (250 mA or
+//! 500 mA, one minute long) separated by **idle periods** (zero current).
+//! This crate provides:
+//!
+//! * [`Epoch`] and [`LoadProfile`] — a general piecewise-constant load,
+//!   either finite or cyclically repeating, iterable as epochs or as
+//!   [`kibam::lifetime::Segment`]s;
+//! * [`builder::LoadProfileBuilder`] — an ergonomic way to assemble profiles;
+//! * [`paper_loads::TestLoad`] — the ten test loads of Section 5 of the
+//!   paper (`CL 250`, …, ``IL` 500``), pre-parameterised with the calibrated
+//!   one-minute job duration;
+//! * [`random::RandomLoadSpec`] — seeded random job sequences, used for the
+//!   paper's `ILs r1` / `ILs r2` loads and for exploring "realistic random
+//!   loads" (the outlook of Section 7).
+//!
+//! # Example
+//!
+//! ```
+//! use workload::paper_loads::TestLoad;
+//! use kibam::{BatteryParams, lifetime::lifetime_for_segments};
+//!
+//! let b1 = BatteryParams::itsy_b1();
+//! let load = TestLoad::Ils500.profile();
+//! let lifetime = lifetime_for_segments(&b1, load.segments()).unwrap().lifetime;
+//! // Table 3 of the paper: 4.30 minutes.
+//! assert!((lifetime - 4.30).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+mod error;
+pub mod paper_loads;
+mod profile;
+pub mod random;
+
+pub use error::WorkloadError;
+pub use profile::{Epoch, EpochIter, LoadProfile, SegmentIter};

@@ -1,0 +1,36 @@
+//! The paper's headline experiment: the Itsy pocket computer powered by two
+//! B1 batteries, running the ten test loads of Section 5, scheduled by the
+//! three deterministic policies (Table 5) — plus the optimal schedule for
+//! the alternating load, found by the branch-and-bound search.
+//!
+//! Run with `cargo run --release --example itsy_two_battery`.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::report::{deterministic_lifetimes, table5_row};
+use battery_sched::system::SystemConfig;
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use workload::paper_loads::TestLoad;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SystemConfig::paper_two_b1();
+    println!("Two Itsy B1 batteries (5.5 A·min each), paper discretization\n");
+    println!("{:<8} {:>11} {:>12} {:>12}", "load", "sequential", "round robin", "best-of-two");
+    for load in TestLoad::all() {
+        let (seq, rr, best) = deterministic_lifetimes(&config, &load.profile())?;
+        println!("{:<8} {:>11.2} {:>12.2} {:>12.2}", load.name(), seq, rr, best);
+    }
+
+    // The optimal schedule for the load where it matters most (ILs alt),
+    // computed on the coarse grid so the exact search stays fast.
+    let coarse = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2)?;
+    let row = table5_row(TestLoad::IlsAlt, &coarse, Some(&OptimalScheduler::new()))?;
+    println!(
+        "\nILs alt on the coarse grid: round robin {:.2} min, best-of-two {:.2} min, optimal {:.2} min",
+        row.round_robin_minutes,
+        row.best_of_two_minutes,
+        row.optimal_minutes.unwrap_or(f64::NAN),
+    );
+    println!("(the paper reports 12.82 / 16.30 / 16.91 minutes — an up to ~32 % gain over round robin)");
+    Ok(())
+}

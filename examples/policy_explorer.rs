@@ -1,0 +1,44 @@
+//! Policy explorer: generate random intermittent workloads and measure how
+//! often (and by how much) best-of-two beats round robin, and what the
+//! optimal schedule adds on top — the "realistic random loads" direction
+//! the paper lists as future work.
+//!
+//! Run with `cargo run --release --example policy_explorer [seed-count]`.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::{BestAvailable, RoundRobin};
+use battery_sched::system::{simulate_policy_on, SystemConfig};
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use workload::random::RandomLoadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let spec = RandomLoadSpec::new(vec![0.25, 0.5], 1.0, 1.0, 200)?;
+    let config = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2)?;
+    let scheduler = OptimalScheduler::new();
+
+    println!("Random ILs-style loads on 2 x B1 (coarse grid), {seeds} seeds\n");
+    println!("{:>6} {:>12} {:>12} {:>10} {:>10}", "seed", "round robin", "best-of-two", "optimal", "opt gain");
+    let mut best_wins = 0usize;
+    for seed in 0..seeds {
+        let load = spec.generate(seed)?;
+        let discretized = config.discretize(&load)?;
+        let rr = simulate_policy_on(&config, &discretized, &mut RoundRobin::new())?
+            .lifetime_minutes()
+            .unwrap_or(f64::NAN);
+        let best = simulate_policy_on(&config, &discretized, &mut BestAvailable::new())?
+            .lifetime_minutes()
+            .unwrap_or(f64::NAN);
+        let optimal = scheduler.find_optimal_on(&config, &discretized)?.lifetime_minutes(&config);
+        if best > rr + 1e-9 {
+            best_wins += 1;
+        }
+        println!(
+            "{seed:>6} {rr:>12.2} {best:>12.2} {optimal:>10.2} {:>9.1}%",
+            100.0 * (optimal - rr) / rr
+        );
+    }
+    println!("\nbest-of-two strictly beat round robin on {best_wins}/{seeds} random loads");
+    Ok(())
+}

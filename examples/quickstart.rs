@@ -1,0 +1,39 @@
+//! Quickstart: model a battery, define a load, compare scheduling policies.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use battery_sched::policy::{BestAvailable, RoundRobin, Sequential, SchedulingPolicy};
+use battery_sched::system::{simulate_policy, SystemConfig};
+use dkibam::Discretization;
+use kibam::lifetime::{lifetime_for_segments, Segment};
+use kibam::BatteryParams;
+use workload::builder::LoadProfileBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A single battery under a constant load (the continuous KiBaM).
+    let b1 = BatteryParams::itsy_b1();
+    let constant_load = std::iter::repeat(Segment::new(0.25, 1.0)?);
+    let single = lifetime_for_segments(&b1, constant_load).expect("battery empties");
+    println!("single B1 battery, continuous 250 mA: {:.2} min lifetime", single.lifetime);
+    println!("  charge delivered: {:.2} A·min, charge stranded: {:.2} A·min", single.delivered_charge, single.residual_charge);
+
+    // 2. A custom intermittent load: 1-minute 500 mA bursts, 90 s of idle.
+    let load = LoadProfileBuilder::new().job(0.5, 1.0).idle(1.5).build_cyclic()?;
+
+    // 3. Two batteries plus a scheduling policy.
+    let config = SystemConfig::new(b1, Discretization::paper_default(), 2)?;
+    for policy in [
+        &mut Sequential::new() as &mut dyn SchedulingPolicy,
+        &mut RoundRobin::new(),
+        &mut BestAvailable::new(),
+    ] {
+        let outcome = simulate_policy(&config, &load, policy)?;
+        println!(
+            "two batteries, {:<12}: {:.2} min lifetime, {:>5.2} A·min left in the cells",
+            policy.name(),
+            outcome.lifetime_minutes().unwrap_or(f64::NAN),
+            outcome.residual_charge(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! A sensor-node style what-if planner — the outlook of Section 7 of the
+//! paper: for a node with a simple regular workload, explore how duty cycle
+//! and battery count affect the achievable operating time.
+//!
+//! Run with `cargo run --release --example sensor_node_planner`.
+
+use battery_sched::policy::BestAvailable;
+use battery_sched::system::{simulate_policy, SystemConfig};
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use workload::builder::LoadProfileBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cell = BatteryParams::itsy_b1();
+    println!("Sensor node planner: 300 mA sensing burst of 30 s, varying sleep time and cell count\n");
+    println!("{:>10} {:>8} {:>14} {:>16}", "sleep (s)", "cells", "lifetime (min)", "bursts served");
+
+    for sleep_seconds in [30.0_f64, 60.0, 120.0] {
+        for cells in [1usize, 2, 3] {
+            let load = LoadProfileBuilder::new()
+                .job(0.3, 0.5)
+                .idle(sleep_seconds / 60.0)
+                .build_cyclic()?;
+            let config = SystemConfig::new(cell, Discretization::paper_default(), cells)?;
+            let outcome = simulate_policy(&config, &load, &mut BestAvailable::new())?;
+            let lifetime = outcome.lifetime_minutes().unwrap_or(f64::NAN);
+            let bursts = outcome.schedule().assignments.len();
+            println!("{sleep_seconds:>10.0} {cells:>8} {lifetime:>14.1} {bursts:>16}");
+        }
+    }
+    println!("\nLonger sleep periods exploit the recovery effect: the same cells serve");
+    println!("disproportionately more bursts, and extra cells scheduled best-first add further headroom.");
+    Ok(())
+}
