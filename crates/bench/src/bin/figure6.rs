@@ -27,9 +27,8 @@ fn main() {
 
     let best = simulate_policy_on(&config, &discretized, &mut BestAvailable::new())
         .expect("best-of-two simulation");
-    let optimal = OptimalScheduler::new()
-        .find_optimal_on(&config, &discretized)
-        .expect("optimal search");
+    let optimal =
+        OptimalScheduler::new().find_optimal_on(&config, &discretized).expect("optimal search");
     let replay = simulate_policy_on(
         &config,
         &discretized,

@@ -1,0 +1,54 @@
+//! Runs the paper's Table 5 experiment as a scenario grid through the
+//! parallel scenario engine and writes the machine-readable result set to
+//! `BENCH_scenarios.json` (override the path with the first command-line
+//! argument). Future sessions diff this file to track the performance and
+//! accuracy trajectory.
+//!
+//! The grid is 1 battery type (B1) × 1 count (2) × 1 discretization (paper)
+//! × 10 loads × 3 policies × 2 backends = 60 scenarios.
+
+use engine::{results_to_json, run_grid, ScenarioSpec};
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scenarios.json".to_owned());
+    let spec = ScenarioSpec::paper_table5();
+    println!("scenario grid: {} scenarios", spec.scenario_count());
+
+    let start = Instant::now();
+    let results = match run_grid(&spec) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("scenario grid failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    let wall = start.elapsed();
+
+    let total_sim_micros: u64 = results.iter().map(|r| r.wall_micros).sum();
+    println!(
+        "ran {} scenarios in {:.2?} wall clock ({:.2?} total simulation time)",
+        results.len(),
+        wall,
+        std::time::Duration::from_micros(total_sim_micros),
+    );
+    println!("{:<40} {:>10} {:>10}", "scenario", "lifetime", "residual");
+    for result in &results {
+        println!(
+            "{:<40} {:>10} {:>10.2}",
+            result.scenario.label(),
+            result
+                .lifetime_minutes
+                .map(|m| format!("{m:.2} min"))
+                .unwrap_or_else(|| "-".to_owned()),
+            result.residual_charge,
+        );
+    }
+
+    let json = results_to_json(&spec, &results).expect("scenario results serialize");
+    if let Err(error) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {error}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {} bytes to {out_path}", json.len());
+}

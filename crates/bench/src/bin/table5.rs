@@ -20,7 +20,8 @@ fn main() {
     let skip_optimal = args.iter().any(|a| a == "--no-optimal");
 
     let deterministic_config = SystemConfig::paper_two_b1();
-    let optimal_disc = if full { Discretization::paper_default() } else { Discretization::coarse() };
+    let optimal_disc =
+        if full { Discretization::paper_default() } else { Discretization::coarse() };
     let optimal_config =
         SystemConfig::new(BatteryParams::itsy_b1(), optimal_disc, 2).expect("two batteries");
     let scheduler = OptimalScheduler::new();

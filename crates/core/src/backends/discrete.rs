@@ -1,0 +1,162 @@
+//! The discretized-KiBaM backend: a thin [`BatteryModel`] wrapper around
+//! [`dkibam::multi::MultiBatteryState`].
+
+use crate::model::{BatteryModel, ModelAdvance};
+use crate::schedule::BatteryCharge;
+use crate::SchedError;
+use dkibam::multi::MultiBatteryState;
+use dkibam::{Discretization, RecoveryTable};
+use kibam::BatteryParams;
+
+/// The discretized KiBaM of Section 2.3 as a [`BatteryModel`] backend.
+///
+/// Holds the static data (battery parameters, discretization, recovery
+/// table) next to the dynamic [`MultiBatteryState`], so that searches can
+/// snapshot just the dynamic part.
+#[derive(Debug, Clone)]
+pub struct DiscretizedKibam {
+    params: BatteryParams,
+    disc: Discretization,
+    table: RecoveryTable,
+    count: usize,
+    state: MultiBatteryState,
+}
+
+impl DiscretizedKibam {
+    /// Creates a system of `count` identical, freshly charged batteries.
+    #[must_use]
+    pub fn new(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
+        Self {
+            params: *params,
+            disc: *disc,
+            table: RecoveryTable::for_battery(params, disc),
+            count,
+            state: MultiBatteryState::new_full(params, disc, count),
+        }
+    }
+
+    /// The current joint discrete state.
+    #[must_use]
+    pub fn state(&self) -> &MultiBatteryState {
+        &self.state
+    }
+
+    /// The battery parameters.
+    #[must_use]
+    pub fn params(&self) -> &BatteryParams {
+        &self.params
+    }
+
+    /// The discretization in use.
+    #[must_use]
+    pub fn disc(&self) -> &Discretization {
+        &self.disc
+    }
+}
+
+impl BatteryModel for DiscretizedKibam {
+    type State = MultiBatteryState;
+
+    fn backend_name(&self) -> &'static str {
+        "discretized"
+    }
+
+    fn battery_count(&self) -> usize {
+        self.count
+    }
+
+    fn reset(&mut self) {
+        self.state = MultiBatteryState::new_full(&self.params, &self.disc, self.count);
+    }
+
+    fn save_state(&self) -> MultiBatteryState {
+        self.state.clone()
+    }
+
+    fn restore_state(&mut self, state: &MultiBatteryState) {
+        self.state.copy_from(state);
+    }
+
+    fn is_empty(&self, index: usize) -> bool {
+        self.state.batteries()[index].is_empty(&self.params)
+    }
+
+    fn available(&self) -> Vec<usize> {
+        self.state.available(&self.params)
+    }
+
+    fn charge(&self, index: usize) -> BatteryCharge {
+        let battery = &self.state.batteries()[index];
+        BatteryCharge {
+            total: battery.total_charge(&self.disc),
+            available: battery.available_charge(&self.params, &self.disc),
+        }
+    }
+
+    fn total_charge(&self) -> f64 {
+        self.state.total_charge(&self.disc)
+    }
+
+    fn usable_charge(&self) -> f64 {
+        self.state
+            .batteries()
+            .iter()
+            .filter(|b| !b.is_observed_empty())
+            .map(|b| f64::from(b.charge_units()) * self.disc.charge_unit())
+            .sum()
+    }
+
+    fn states_identical(&self, a: usize, b: usize) -> bool {
+        self.state.batteries()[a] == self.state.batteries()[b]
+    }
+
+    fn advance_idle(&mut self, steps: u64) {
+        self.state.advance_idle(steps, &self.table);
+    }
+
+    fn advance_job(
+        &mut self,
+        active: usize,
+        steps: u64,
+        draw_interval_steps: u32,
+        units_per_draw: u32,
+    ) -> Result<ModelAdvance, SchedError> {
+        let advance = self.state.advance_job(
+            active,
+            steps,
+            draw_interval_steps,
+            units_per_draw,
+            &self.table,
+            &self.params,
+        )?;
+        Ok(ModelAdvance { steps_consumed: advance.steps_consumed, completed: advance.completed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_the_underlying_multi_battery_state() {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        let mut model = DiscretizedKibam::new(&params, &disc, 2);
+        assert_eq!(model.state().total_charge_units(), 1100);
+        model.advance_job(0, 100, 2, 1).unwrap();
+        assert_eq!(model.state().total_charge_units(), 1050);
+        assert_eq!(model.backend_name(), "discretized");
+        assert!((model.usable_charge() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usable_charge_excludes_retired_batteries() {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        let mut model = DiscretizedKibam::new(&params, &disc, 2);
+        // Drain battery 0 until it is observed empty.
+        let advance = model.advance_job(0, 2_000, 2, 1).unwrap();
+        assert!(!advance.completed);
+        assert!(model.usable_charge() < model.total_charge());
+    }
+}

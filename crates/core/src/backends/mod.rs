@@ -1,0 +1,19 @@
+//! Battery-model backends implementing [`crate::model::BatteryModel`].
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`DiscretizedKibam`] — the discretized KiBaM of Section 2.3 (integer
+//!   charge and height units, precomputed recovery table). This is the model
+//!   the paper's TA encoding explores and the default for all Table 5
+//!   experiments.
+//! * [`ContinuousKibam`] — the closed-form continuous KiBaM of Section 2.2.
+//!   Jobs become constant-current intervals solved analytically, which makes
+//!   stepping cost independent of the discretization and provides an
+//!   independent cross-check of the discretized results (the ~1–2 %
+//!   agreement of Tables 3 and 4).
+
+mod continuous;
+mod discrete;
+
+pub use continuous::{ContinuousCell, ContinuousKibam};
+pub use discrete::DiscretizedKibam;

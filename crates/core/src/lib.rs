@@ -9,13 +9,18 @@
 //!
 //! The crate provides:
 //!
+//! * the [`model::BatteryModel`] trait — the backend-agnostic
+//!   battery-stepping contract — with two backends:
+//!   [`backends::DiscretizedKibam`] (the paper's discretized model) and
+//!   [`backends::ContinuousKibam`] (closed-form analytic stepping);
 //! * the three deterministic scheduling policies compared in the paper —
 //!   [`policy::Sequential`], [`policy::RoundRobin`] and
 //!   [`policy::BestAvailable`] ("best of two") — plus replay of explicit
 //!   schedules ([`policy::FixedSchedule`]);
-//! * a multi-battery system simulator over the discretized KiBaM
-//!   ([`system::simulate_policy`]) that produces lifetimes, schedules and
-//!   charge traces (the ingredients of Tables 5 and Figure 6);
+//! * a multi-battery system simulator, generic over the backend
+//!   ([`system::simulate_policy_with`]; [`system::simulate_policy`] runs the
+//!   discretized default) that produces lifetimes, schedules and charge
+//!   traces (the ingredients of Tables 5 and Figure 6);
 //! * the **optimal scheduler** ([`optimal::OptimalScheduler`]) — a
 //!   memoized branch-and-bound search over the discrete battery state that
 //!   plays the role of the Uppaal Cora query in the paper;
@@ -53,7 +58,9 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod backends;
 mod error;
+pub mod model;
 pub mod optimal;
 pub mod policy;
 pub mod report;
@@ -62,3 +69,4 @@ pub mod system;
 pub mod ta_model;
 
 pub use error::SchedError;
+pub use model::{BatteryModel, ModelAdvance};

@@ -1,0 +1,211 @@
+//! The backend-agnostic battery-stepping contract.
+//!
+//! The simulator and the optimal-schedule search only need a handful of
+//! operations from a battery model: let one battery serve (a portion of) a
+//! job while the rest recover, let every battery recover through an idle
+//! period, test for emptiness and take charge snapshots. This module
+//! extracts that contract into the [`BatteryModel`] trait so the same
+//! scheduling machinery runs against different battery backends:
+//!
+//! * [`crate::backends::DiscretizedKibam`] — the paper's discretized KiBaM
+//!   (integer charge/height units), the model behind Tables 3–5;
+//! * [`crate::backends::ContinuousKibam`] — the closed-form continuous KiBaM,
+//!   which cross-validates the discretization and is much cheaper to step
+//!   over long horizons.
+//!
+//! Time is always measured in discrete *steps* of the [`Discretization`]
+//! that produced the load — the load's job boundaries and draw instants are
+//! the scheduling points, no matter how a backend represents battery state
+//! internally. Backends expose a cheap save/restore state (the
+//! [`BatteryModel::State`] associated type) so that search-based schedulers
+//! can branch without cloning static data such as recovery tables.
+//!
+//! [`Discretization`]: dkibam::Discretization
+
+use crate::schedule::BatteryCharge;
+use crate::SchedError;
+
+/// Result of letting one battery serve (a portion of) a job.
+///
+/// Mirrors `dkibam::multi::JobAdvance`, but at the trait layer so that
+/// non-discretized backends can report the same information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelAdvance {
+    /// Time steps that actually elapsed.
+    pub steps_consumed: u64,
+    /// `true` if the requested number of steps was served completely;
+    /// `false` if the active battery was observed empty before the end (the
+    /// remaining steps still need to be served by another battery).
+    pub completed: bool,
+}
+
+/// A multi-battery battery model that the scheduling engine can step.
+///
+/// Implementations hold the joint state of all batteries in the system plus
+/// whatever static data they need (parameters, recovery tables). The
+/// contract, in the paper's terms (Sections 2 and 4):
+///
+/// * [`advance_job`](Self::advance_job) — one battery serves a job portion
+///   with a given draw pattern while the others recover; the battery is
+///   *observed empty* at a draw instant and retired if the emptiness
+///   criterion holds there;
+/// * [`advance_idle`](Self::advance_idle) — every battery recovers;
+/// * [`is_empty`](Self::is_empty) / [`available`](Self::available) — the
+///   emptiness test (Eq. 3 continuous, Eq. 8 discretized), sticky once a
+///   battery has been observed empty;
+/// * [`charge`](Self::charge) — total / available charge snapshots, the
+///   quantities policies decide on and traces record.
+pub trait BatteryModel {
+    /// A cheap snapshot of the dynamic state of all batteries, used by
+    /// search-based schedulers to branch. Static data (parameters, recovery
+    /// tables) must not live in the state.
+    type State: Clone;
+
+    /// A short name identifying the backend in reports and JSON output.
+    fn backend_name(&self) -> &'static str;
+
+    /// The number of batteries in the system.
+    fn battery_count(&self) -> usize;
+
+    /// Returns every battery to the freshly-charged state.
+    fn reset(&mut self);
+
+    /// Captures the current dynamic state.
+    fn save_state(&self) -> Self::State;
+
+    /// Restores a previously captured dynamic state.
+    fn restore_state(&mut self, state: &Self::State);
+
+    /// Whether battery `index` is empty: either currently satisfying the
+    /// emptiness criterion or already observed empty and retired.
+    fn is_empty(&self, index: usize) -> bool;
+
+    /// Indices of the batteries that can still serve a job.
+    fn available(&self) -> Vec<usize> {
+        (0..self.battery_count()).filter(|&i| !self.is_empty(i)).collect()
+    }
+
+    /// Charge snapshot (total and available charge, A·min) of battery
+    /// `index`.
+    fn charge(&self, index: usize) -> BatteryCharge;
+
+    /// Charge snapshots of all batteries, in index order.
+    fn charges(&self) -> Vec<BatteryCharge> {
+        (0..self.battery_count()).map(|i| self.charge(i)).collect()
+    }
+
+    /// Fills `out` with the charge snapshots of all batteries, reusing its
+    /// allocation. The simulation loop snapshots at every scheduling
+    /// decision, so this avoids a per-decision allocation.
+    fn charges_into(&self, out: &mut Vec<BatteryCharge>) {
+        out.clear();
+        out.extend((0..self.battery_count()).map(|i| self.charge(i)));
+    }
+
+    /// Total remaining charge over all batteries, in A·min (including
+    /// retired ones — their stranded charge is what the paper's residual
+    /// observations count).
+    fn total_charge(&self) -> f64 {
+        (0..self.battery_count()).map(|i| self.charge(i).total).sum()
+    }
+
+    /// Total remaining charge over the batteries that have *not* been
+    /// retired, in A·min. Upper-bound computations in search schedulers use
+    /// this: retired charge can never be delivered.
+    fn usable_charge(&self) -> f64;
+
+    /// Whether batteries `a` and `b` are in identical states, so a search
+    /// need only branch on one of them (symmetry pruning).
+    fn states_identical(&self, a: usize, b: usize) -> bool;
+
+    /// Lets every battery recover for `steps` time steps.
+    fn advance_idle(&mut self, steps: u64);
+
+    /// Lets battery `active` serve a job portion of `steps` time steps with
+    /// the given draw pattern (one draw of `units_per_draw` charge units
+    /// every `draw_interval_steps` steps) while all other batteries recover.
+    ///
+    /// If the active battery is observed empty at a draw instant it is
+    /// retired and the advance reports `completed == false` together with
+    /// the steps that did elapse; the caller re-schedules the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidBatteryIndex`] (or a backend error) if
+    /// `active` is out of range.
+    fn advance_job(
+        &mut self,
+        active: usize,
+        steps: u64,
+        draw_interval_steps: u32,
+        units_per_draw: u32,
+    ) -> Result<ModelAdvance, SchedError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{ContinuousKibam, DiscretizedKibam};
+    use dkibam::Discretization;
+    use kibam::BatteryParams;
+
+    fn backends() -> (DiscretizedKibam, ContinuousKibam) {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        (DiscretizedKibam::new(&params, &disc, 2), ContinuousKibam::new(&params, &disc, 2))
+    }
+
+    fn exercise<M: BatteryModel>(model: &mut M) {
+        assert_eq!(model.battery_count(), 2);
+        assert_eq!(model.available(), vec![0, 1]);
+        let full = model.total_charge();
+        assert!((full - 11.0).abs() < 1e-9, "{}: {full}", model.backend_name());
+        assert!((model.usable_charge() - full).abs() < 1e-9);
+        assert!(model.states_identical(0, 1));
+
+        // One minute of 500 mA on battery 0: one charge unit every 2 steps.
+        let saved = model.save_state();
+        let advance = model.advance_job(0, 100, 2, 1).unwrap();
+        assert!(advance.completed);
+        assert_eq!(advance.steps_consumed, 100);
+        assert!(!model.states_identical(0, 1));
+        let after = model.charges();
+        assert!((after[0].total - 5.0).abs() < 1e-9, "{}: {:?}", model.backend_name(), after);
+        assert!((after[1].total - 5.5).abs() < 1e-9);
+        assert!(after[0].available < after[1].available);
+
+        // Idle recovery raises the served battery's available charge.
+        model.advance_idle(100);
+        assert!(model.charge(0).available > after[0].available);
+
+        // Save/restore round-trips.
+        model.restore_state(&saved);
+        assert!((model.total_charge() - full).abs() < 1e-9);
+        assert!(model.states_identical(0, 1));
+
+        // Reset returns to full no matter what happened before.
+        model.advance_job(1, 200, 2, 1).unwrap();
+        model.reset();
+        assert!((model.total_charge() - full).abs() < 1e-9);
+        assert_eq!(model.available(), vec![0, 1]);
+    }
+
+    #[test]
+    fn discretized_backend_honours_the_contract() {
+        let (mut discrete, _) = backends();
+        exercise(&mut discrete);
+    }
+
+    #[test]
+    fn continuous_backend_honours_the_contract() {
+        let (_, mut continuous) = backends();
+        exercise(&mut continuous);
+    }
+
+    #[test]
+    fn out_of_range_battery_is_rejected_by_both_backends() {
+        let (mut discrete, mut continuous) = backends();
+        assert!(discrete.advance_job(7, 10, 2, 1).is_err());
+        assert!(continuous.advance_job(7, 10, 2, 1).is_err());
+    }
+}

@@ -2,29 +2,32 @@
 //!
 //! The paper obtains optimal schedules by asking Uppaal Cora for a
 //! minimum-cost path through the TA-KiBaM. This module computes the same
-//! optimum directly: a depth-first branch-and-bound search over the
-//! discretized multi-battery state, branching only at scheduling points
-//! (job starts and battery-empty events), with
+//! optimum directly: a depth-first branch-and-bound search over the battery
+//! state, branching only at scheduling points (job starts and battery-empty
+//! events), with
 //!
 //! * an **upper bound** on the remaining lifetime derived from the remaining
-//!   charge units and the load ahead (a schedule can never outlive the point
-//!   at which the load has requested more charge units than all batteries
+//!   usable charge and the load ahead (a schedule can never outlive the
+//!   point at which the load has requested more charge than all batteries
 //!   jointly hold),
 //! * **symmetry pruning** (batteries in identical states need only be tried
 //!   once), and
 //! * **warm starting** from the best deterministic policy, so that only
 //!   branches that can still beat round-robin/best-of-two are explored.
 //!
-//! The search is exact: it returns the maximum achievable system lifetime
-//! for the given discretization, together with the decision sequence that
-//! realises it (replayable through [`crate::policy::FixedSchedule`]).
+//! The search is generic over the [`BatteryModel`] backend: it runs against
+//! the discretized KiBaM (the paper's model, [`OptimalScheduler::find_optimal`])
+//! or any other backend ([`OptimalScheduler::find_optimal_with`]), using the
+//! backend's cheap save/restore state to branch. It returns the maximum
+//! achievable system lifetime for the given discretization together with the
+//! decision sequence that realises it (replayable through
+//! [`crate::policy::FixedSchedule`]).
 
+use crate::model::BatteryModel;
 use crate::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
-use crate::system::{simulate_policy_on, SystemConfig};
+use crate::system::{simulate_policy_with, SystemConfig};
 use crate::SchedError;
-use dkibam::multi::MultiBatteryState;
-use dkibam::{DiscreteEpoch, DiscretizedLoad, RecoveryTable};
-use kibam::BatteryParams;
+use dkibam::{DiscreteEpoch, DiscretizedLoad};
 use workload::LoadProfile;
 
 /// Default node budget of the search (decision nodes, not states).
@@ -76,7 +79,8 @@ impl OptimalScheduler {
         Self { budget }
     }
 
-    /// Finds the optimal schedule for a load profile.
+    /// Finds the optimal schedule for a load profile under the discretized
+    /// KiBaM backend (the paper's model).
     ///
     /// # Errors
     ///
@@ -91,7 +95,8 @@ impl OptimalScheduler {
         self.find_optimal_on(config, &load)
     }
 
-    /// Finds the optimal schedule for an already-discretized load.
+    /// Finds the optimal schedule for an already-discretized load under the
+    /// discretized KiBaM backend.
     ///
     /// # Errors
     ///
@@ -101,9 +106,23 @@ impl OptimalScheduler {
         config: &SystemConfig,
         load: &DiscretizedLoad,
     ) -> Result<OptimalOutcome, SchedError> {
-        let params = config.params();
-        let table = RecoveryTable::for_battery(params, config.disc());
+        let mut model = config.discretized_model();
+        self.find_optimal_with(config, load, &mut model)
+    }
 
+    /// Finds the optimal schedule against an arbitrary [`BatteryModel`]
+    /// backend. The model is reset before the search; it must have been
+    /// built for the same parameters and discretization as `config`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OptimalScheduler::find_optimal`].
+    pub fn find_optimal_with<M: BatteryModel>(
+        &self,
+        config: &SystemConfig,
+        load: &DiscretizedLoad,
+        model: &mut M,
+    ) -> Result<OptimalOutcome, SchedError> {
         // Warm start: the best deterministic policy provides the initial
         // incumbent, which makes the bound effective from the first node.
         let mut incumbent_steps = 0u64;
@@ -113,7 +132,7 @@ impl OptimalScheduler {
             &mut RoundRobin::new(),
             &mut BestAvailable::new(),
         ] {
-            let outcome = simulate_policy_on(config, load, policy)?;
+            let outcome = simulate_policy_with(config, load, policy, model)?;
             if let Some(steps) = outcome.lifetime_steps() {
                 if steps > incumbent_steps {
                     incumbent_steps = steps;
@@ -122,19 +141,19 @@ impl OptimalScheduler {
             }
         }
 
+        model.reset();
+        let initial = model.save_state();
         let mut search = Search {
-            params,
-            table: &table,
+            model,
             epochs: load.epochs(),
-            battery_count: config.battery_count(),
+            charge_unit: config.disc().charge_unit(),
             budget: self.budget,
             nodes: 0,
             best_steps: incumbent_steps,
             best_decisions: incumbent_decisions,
             current_decisions: Vec::new(),
         };
-        let initial = MultiBatteryState::new_full(params, config.disc(), config.battery_count());
-        search.explore(initial, 0, 0, 0)?;
+        search.explore(&initial, 0, 0, 0)?;
 
         Ok(OptimalOutcome {
             lifetime_steps: search.best_steps,
@@ -144,11 +163,10 @@ impl OptimalScheduler {
     }
 }
 
-struct Search<'a> {
-    params: &'a BatteryParams,
-    table: &'a RecoveryTable,
+struct Search<'a, M: BatteryModel> {
+    model: &'a mut M,
     epochs: &'a [DiscreteEpoch],
-    battery_count: usize,
+    charge_unit: f64,
     budget: usize,
     nodes: usize,
     best_steps: u64,
@@ -156,20 +174,21 @@ struct Search<'a> {
     current_decisions: Vec<usize>,
 }
 
-impl Search<'_> {
-    /// Depth-first exploration from a state positioned at `offset` steps
-    /// into epoch `epoch_index`, with `elapsed` steps of lifetime already
-    /// accumulated.
+impl<M: BatteryModel> Search<'_, M> {
+    /// Depth-first exploration from the state captured in `snapshot`,
+    /// positioned at `offset` steps into epoch `epoch_index`, with `elapsed`
+    /// steps of lifetime already accumulated.
     fn explore(
         &mut self,
-        mut state: MultiBatteryState,
+        snapshot: &M::State,
         mut epoch_index: usize,
         mut offset: u64,
         mut elapsed: u64,
     ) -> Result<(), SchedError> {
+        self.model.restore_state(snapshot);
         // The system lifetime ends the moment the last battery is observed
         // empty — trailing idle time of the load does not count.
-        if state.available(self.params).is_empty() {
+        if self.model.available().is_empty() {
             self.record_candidate(elapsed);
             return Ok(());
         }
@@ -183,7 +202,7 @@ impl Search<'_> {
             };
             if epoch.is_idle() {
                 let steps = epoch.duration_steps() - offset;
-                state.advance_idle(steps, self.table);
+                self.model.advance_idle(steps);
                 elapsed += steps;
                 epoch_index += 1;
                 offset = 0;
@@ -196,7 +215,7 @@ impl Search<'_> {
         }
 
         let epoch = self.epochs[epoch_index];
-        let available = state.available(self.params);
+        let available = self.model.available();
         if available.is_empty() {
             self.record_candidate(elapsed);
             return Ok(());
@@ -207,47 +226,48 @@ impl Search<'_> {
             return Err(SchedError::SearchBudgetExceeded { budget: self.budget });
         }
 
-        // Bound: even if every remaining charge unit were extractable, the
-        // load ahead limits how long the system can still live.
-        if elapsed + self.upper_bound(&state, epoch_index, offset) <= self.best_steps {
+        // Bound: even if every remaining unit of usable charge were
+        // extractable, the load ahead limits how long the system can live.
+        if elapsed + self.upper_bound(epoch_index, offset) <= self.best_steps {
             return Ok(());
         }
 
         // Candidate batteries, deduplicated by identical state (symmetry)
-        // and ordered by available charge (best first) so that good
+        // and ordered by remaining charge (best first) so that good
         // incumbents are found early.
         let mut candidates: Vec<usize> = Vec::with_capacity(available.len());
         for &battery in &available {
-            let duplicate = candidates
-                .iter()
-                .any(|&other| state.batteries()[other] == state.batteries()[battery]);
+            let duplicate =
+                candidates.iter().any(|&other| self.model.states_identical(other, battery));
             if !duplicate {
                 candidates.push(battery);
             }
         }
         candidates.sort_by(|&a, &b| {
-            state.batteries()[b]
-                .charge_units()
-                .cmp(&state.batteries()[a].charge_units())
+            self.model
+                .charge(b)
+                .total
+                .partial_cmp(&self.model.charge(a).total)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
 
+        let branch_point = self.model.save_state();
         let remaining = epoch.duration_steps() - offset;
         for battery in candidates {
-            let mut next = state.clone();
-            let advance = next.advance_job(
+            self.model.restore_state(&branch_point);
+            let advance = self.model.advance_job(
                 battery,
                 remaining,
                 epoch.draw_interval_steps(),
                 epoch.units_per_draw(),
-                self.table,
-                self.params,
             )?;
+            let next = self.model.save_state();
             self.current_decisions.push(battery);
             if advance.completed {
-                self.explore(next, epoch_index + 1, 0, elapsed + advance.steps_consumed)?;
+                self.explore(&next, epoch_index + 1, 0, elapsed + advance.steps_consumed)?;
             } else {
                 self.explore(
-                    next,
+                    &next,
                     epoch_index,
                     offset + advance.steps_consumed,
                     elapsed + advance.steps_consumed,
@@ -269,13 +289,10 @@ impl Search<'_> {
     /// walk the remaining load; the system cannot survive past the point at
     /// which the load has requested more charge units than all usable
     /// batteries jointly hold.
-    fn upper_bound(&self, state: &MultiBatteryState, epoch_index: usize, offset: u64) -> u64 {
-        let mut units_left: u64 = state
-            .batteries()
-            .iter()
-            .filter(|b| !b.is_observed_empty())
-            .map(|b| u64::from(b.charge_units()))
-            .sum();
+    fn upper_bound(&self, epoch_index: usize, offset: u64) -> u64 {
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let mut units_left =
+            ((self.model.usable_charge() + 1e-9) / self.charge_unit).floor().max(0.0) as u64;
         let mut steps: u64 = 0;
         let mut offset = offset;
         for epoch in &self.epochs[epoch_index..] {
@@ -300,11 +317,6 @@ impl Search<'_> {
         }
         steps
     }
-
-    #[allow(dead_code)]
-    fn battery_count(&self) -> usize {
-        self.battery_count
-    }
 }
 
 #[cfg(test)]
@@ -313,6 +325,7 @@ mod tests {
     use crate::policy::{BestAvailable, FixedSchedule, RoundRobin};
     use crate::system::simulate_policy;
     use dkibam::Discretization;
+    use kibam::BatteryParams;
     use workload::builder::LoadProfileBuilder;
     use workload::paper_loads::TestLoad;
 
@@ -327,10 +340,9 @@ mod tests {
         let config = coarse_config();
         for load in [TestLoad::Cl500, TestLoad::IlsAlt, TestLoad::Ils500] {
             let optimal = OptimalScheduler::new().find_optimal(&config, &load.profile()).unwrap();
-            for policy in [
-                &mut RoundRobin::new() as &mut dyn SchedulingPolicy,
-                &mut BestAvailable::new(),
-            ] {
+            for policy in
+                [&mut RoundRobin::new() as &mut dyn SchedulingPolicy, &mut BestAvailable::new()]
+            {
                 let outcome = simulate_policy(&config, &load.profile(), policy).unwrap();
                 assert!(
                     optimal.lifetime_steps >= outcome.lifetime_steps().unwrap(),
@@ -394,14 +406,47 @@ mod tests {
     fn load_too_short_to_kill_batteries_reports_full_duration() {
         let config = coarse_config();
         // A finite load of two 500 mA jobs: both batteries easily survive.
-        let profile = LoadProfileBuilder::new()
-            .job(0.5, 1.0)
-            .idle(1.0)
-            .job(0.5, 1.0)
-            .build_finite()
-            .unwrap();
+        let profile =
+            LoadProfileBuilder::new().job(0.5, 1.0).idle(1.0).job(0.5, 1.0).build_finite().unwrap();
         let optimal = OptimalScheduler::new().find_optimal(&config, &profile).unwrap();
         let total_steps = config.disc().minutes_to_steps(3.0);
         assert_eq!(optimal.lifetime_steps, total_steps);
+    }
+
+    #[test]
+    fn continuous_backend_search_dominates_and_replays() {
+        let config = coarse_config();
+        let load = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
+        let mut model = config.continuous_model();
+        let optimal =
+            OptimalScheduler::new().find_optimal_with(&config, &load, &mut model).unwrap();
+
+        // Dominates the deterministic policies on the same backend.
+        for policy in
+            [&mut RoundRobin::new() as &mut dyn SchedulingPolicy, &mut BestAvailable::new()]
+        {
+            let outcome =
+                crate::system::simulate_policy_with(&config, &load, policy, &mut model).unwrap();
+            assert!(optimal.lifetime_steps >= outcome.lifetime_steps().unwrap());
+        }
+
+        // And the decision sequence replays to the same lifetime.
+        let mut replay = FixedSchedule::new(optimal.decisions.clone());
+        let outcome =
+            crate::system::simulate_policy_with(&config, &load, &mut replay, &mut model).unwrap();
+        assert_eq!(outcome.lifetime_steps(), Some(optimal.lifetime_steps));
+    }
+
+    #[test]
+    fn continuous_and_discretized_optima_agree_on_coarse_grid() {
+        let config = coarse_config();
+        let load = config.discretize(&TestLoad::Cl500.profile()).unwrap();
+        let discrete = OptimalScheduler::new().find_optimal_on(&config, &load).unwrap();
+        let mut model = config.continuous_model();
+        let continuous =
+            OptimalScheduler::new().find_optimal_with(&config, &load, &mut model).unwrap();
+        let a = discrete.lifetime_steps as f64;
+        let b = continuous.lifetime_steps as f64;
+        assert!((a - b).abs() / b < 0.06, "discrete {a} vs continuous {b} steps");
     }
 }

@@ -3,9 +3,12 @@
 //! A policy is consulted at every *scheduling point*: the start of each job
 //! and, additionally, whenever the battery serving a job is observed empty
 //! and the remainder of the job must be continued on another battery.
+//!
+//! Policies are backend-agnostic: the [`DecisionContext`] carries charge
+//! *snapshots* ([`BatteryCharge`]) rather than any concrete battery state,
+//! so the same policies drive every [`crate::model::BatteryModel`] backend.
 
-use dkibam::{DiscreteBattery, Discretization};
-use kibam::BatteryParams;
+use crate::schedule::BatteryCharge;
 
 /// Everything a policy may inspect when making a decision.
 #[derive(Debug, Clone, Copy)]
@@ -17,12 +20,8 @@ pub struct DecisionContext<'a> {
     pub continuation: bool,
     /// Indices of the batteries that are currently able to serve the job.
     pub available: &'a [usize],
-    /// The states of *all* batteries (including empty ones), by index.
-    pub batteries: &'a [DiscreteBattery],
-    /// The (shared) battery parameters.
-    pub params: &'a BatteryParams,
-    /// The discretization in use.
-    pub disc: &'a Discretization,
+    /// Charge snapshots of *all* batteries (including empty ones), by index.
+    pub charges: &'a [BatteryCharge],
 }
 
 /// A battery-selection policy.
@@ -92,7 +91,7 @@ impl SchedulingPolicy for RoundRobin {
         if ctx.available.is_empty() {
             return None;
         }
-        let count = ctx.batteries.len();
+        let count = ctx.charges.len();
         let preferred = ctx.job_index % count;
         // Pick the preferred battery of this job if it can serve, otherwise
         // the next available one in cyclic order.
@@ -124,18 +123,15 @@ impl SchedulingPolicy for BestAvailable {
     }
 
     fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize> {
-        ctx.available
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let charge_a = ctx.batteries[a].available_charge(ctx.params, ctx.disc);
-                let charge_b = ctx.batteries[b].available_charge(ctx.params, ctx.disc);
-                charge_a
-                    .partial_cmp(&charge_b)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    // Ties go to the lower index, as a deterministic choice.
-                    .then(b.cmp(&a))
-            })
+        ctx.available.iter().copied().max_by(|&a, &b| {
+            let charge_a = ctx.charges[a].available;
+            let charge_b = ctx.charges[b].available;
+            charge_a
+                .partial_cmp(&charge_b)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Ties go to the lower index, as a deterministic choice.
+                .then(b.cmp(&a))
+        })
     }
 
     fn reset(&mut self) {}
@@ -194,98 +190,91 @@ mod tests {
     fn context<'a>(
         job_index: usize,
         available: &'a [usize],
-        batteries: &'a [DiscreteBattery],
-        params: &'a BatteryParams,
-        disc: &'a Discretization,
+        charges: &'a [BatteryCharge],
     ) -> DecisionContext<'a> {
-        DecisionContext { job_index, continuation: false, available, batteries, params, disc }
+        DecisionContext { job_index, continuation: false, available, charges }
     }
 
-    fn fixtures() -> (BatteryParams, Discretization) {
-        (BatteryParams::itsy_b1(), Discretization::paper_default())
+    fn full_charges(count: usize) -> Vec<BatteryCharge> {
+        vec![BatteryCharge { total: 5.5, available: 0.913 }; count]
     }
 
     #[test]
     fn sequential_always_picks_lowest_available() {
-        let (params, disc) = fixtures();
-        let batteries = vec![DiscreteBattery::full(&params, &disc); 3];
+        let charges = full_charges(3);
         let mut policy = Sequential::new();
-        let ctx = context(5, &[0, 1, 2], &batteries, &params, &disc);
+        let ctx = context(5, &[0, 1, 2], &charges);
         assert_eq!(policy.choose(&ctx), Some(0));
-        let ctx = context(6, &[1, 2], &batteries, &params, &disc);
+        let ctx = context(6, &[1, 2], &charges);
         assert_eq!(policy.choose(&ctx), Some(1));
-        let ctx = context(7, &[], &batteries, &params, &disc);
+        let ctx = context(7, &[], &charges);
         assert_eq!(policy.choose(&ctx), None);
     }
 
     #[test]
     fn round_robin_cycles_with_job_index() {
-        let (params, disc) = fixtures();
-        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let charges = full_charges(2);
         let mut policy = RoundRobin::new();
         let available = [0, 1];
         for job in 0..6 {
-            let ctx = context(job, &available, &batteries, &params, &disc);
+            let ctx = context(job, &available, &charges);
             assert_eq!(policy.choose(&ctx), Some(job % 2));
         }
     }
 
     #[test]
     fn round_robin_skips_unavailable_batteries() {
-        let (params, disc) = fixtures();
-        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let charges = full_charges(2);
         let mut policy = RoundRobin::new();
         // Job 1 would prefer battery 1, but only battery 0 is available.
-        let ctx = context(1, &[0], &batteries, &params, &disc);
+        let ctx = context(1, &[0], &charges);
         assert_eq!(policy.choose(&ctx), Some(0));
-        let ctx = context(1, &[], &batteries, &params, &disc);
+        let ctx = context(1, &[], &charges);
         assert_eq!(policy.choose(&ctx), None);
     }
 
     #[test]
     fn best_available_prefers_fuller_available_charge_well() {
-        let (params, disc) = fixtures();
         // Battery 0 has less available charge (larger height difference).
-        let batteries =
-            vec![DiscreteBattery::from_units(400, 80), DiscreteBattery::from_units(380, 10)];
+        let charges = vec![
+            BatteryCharge { total: 4.0, available: 0.1 },
+            BatteryCharge { total: 3.8, available: 0.5 },
+        ];
         let mut policy = BestAvailable::new();
-        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        let ctx = context(0, &[0, 1], &charges);
         assert_eq!(policy.choose(&ctx), Some(1));
     }
 
     #[test]
     fn best_available_breaks_ties_towards_lower_index() {
-        let (params, disc) = fixtures();
-        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let charges = full_charges(2);
         let mut policy = BestAvailable::new();
-        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        let ctx = context(0, &[0, 1], &charges);
         assert_eq!(policy.choose(&ctx), Some(0));
     }
 
     #[test]
     fn fixed_schedule_replays_then_falls_back() {
-        let (params, disc) = fixtures();
-        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let charges = full_charges(2);
         let mut policy = FixedSchedule::new(vec![1, 0]);
-        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        let ctx = context(0, &[0, 1], &charges);
         assert_eq!(policy.choose(&ctx), Some(1));
-        let ctx = context(1, &[0, 1], &batteries, &params, &disc);
+        let ctx = context(1, &[0, 1], &charges);
         assert_eq!(policy.choose(&ctx), Some(0));
         // Recorded list exhausted: fall back to the lowest available.
-        let ctx = context(2, &[1], &batteries, &params, &disc);
+        let ctx = context(2, &[1], &charges);
         assert_eq!(policy.choose(&ctx), Some(1));
         // Reset rewinds the replay.
         policy.reset();
-        let ctx = context(0, &[0, 1], &batteries, &params, &disc);
+        let ctx = context(0, &[0, 1], &charges);
         assert_eq!(policy.choose(&ctx), Some(1));
     }
 
     #[test]
     fn fixed_schedule_ignores_unavailable_recorded_battery() {
-        let (params, disc) = fixtures();
-        let batteries = vec![DiscreteBattery::full(&params, &disc); 2];
+        let charges = full_charges(2);
         let mut policy = FixedSchedule::new(vec![1]);
-        let ctx = context(0, &[0], &batteries, &params, &disc);
+        let ctx = context(0, &[0], &charges);
         assert_eq!(policy.choose(&ctx), Some(0));
     }
 

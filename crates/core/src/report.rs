@@ -9,7 +9,7 @@ use crate::policy::{BestAvailable, RoundRobin, Sequential};
 use crate::system::{simulate_policy, SystemConfig};
 use crate::SchedError;
 use dkibam::sim::simulate_lifetime;
-use dkibam::{DiscretizedLoad, Discretization};
+use dkibam::{Discretization, DiscretizedLoad};
 use kibam::lifetime::lifetime_for_segments;
 use kibam::BatteryParams;
 use workload::paper_loads::TestLoad;
@@ -142,11 +142,13 @@ pub fn deterministic_lifetimes(
     load: &workload::LoadProfile,
 ) -> Result<(f64, f64, f64), SchedError> {
     let run = |policy: &mut dyn crate::policy::SchedulingPolicy| -> Result<f64, SchedError> {
-        Ok(simulate_policy(config, load, policy)?
-            .lifetime_minutes()
-            .unwrap_or(f64::INFINITY))
+        Ok(simulate_policy(config, load, policy)?.lifetime_minutes().unwrap_or(f64::INFINITY))
     };
-    Ok((run(&mut Sequential::new())?, run(&mut RoundRobin::new())?, run(&mut BestAvailable::new())?))
+    Ok((
+        run(&mut Sequential::new())?,
+        run(&mut RoundRobin::new())?,
+        run(&mut BestAvailable::new())?,
+    ))
 }
 
 #[cfg(test)]
@@ -192,8 +194,7 @@ mod tests {
     fn table5_row_with_optimal_on_coarse_grid_dominates() {
         let config =
             SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2).unwrap();
-        let row =
-            table5_row(TestLoad::ClAlt, &config, Some(&OptimalScheduler::new())).unwrap();
+        let row = table5_row(TestLoad::ClAlt, &config, Some(&OptimalScheduler::new())).unwrap();
         let optimal = row.optimal_minutes.unwrap();
         assert!(optimal >= row.best_of_two_minutes - 1e-9);
         assert!(optimal >= row.round_robin_minutes - 1e-9);

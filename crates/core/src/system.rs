@@ -2,16 +2,22 @@
 //!
 //! This is the executable counterpart of the paper's Table 5 experiments:
 //! given a system of `B` identical batteries, a load and a policy, the
-//! simulator plays the load against the discretized KiBaM, consulting the
-//! policy at every scheduling point, and reports the system lifetime (the
-//! time at which the *last* battery is observed empty), the schedule and a
-//! charge trace.
+//! simulator plays the load against a battery backend, consulting the policy
+//! at every scheduling point, and reports the system lifetime (the time at
+//! which the *last* battery is observed empty), the schedule and a charge
+//! trace.
+//!
+//! The simulation loop is generic over the [`BatteryModel`] backend
+//! ([`simulate_policy_with`]); the [`simulate_policy`] / [`simulate_policy_on`]
+//! entry points run it against the paper's discretized KiBaM, which keeps
+//! the original call sites unchanged.
 
+use crate::backends::{ContinuousKibam, DiscretizedKibam};
+use crate::model::BatteryModel;
 use crate::policy::{DecisionContext, SchedulingPolicy};
 use crate::schedule::{Assignment, BatteryCharge, Schedule, SystemTrace, SystemTracePoint};
 use crate::SchedError;
-use dkibam::multi::MultiBatteryState;
-use dkibam::{DiscretizedLoad, Discretization, RecoveryTable};
+use dkibam::{Discretization, DiscretizedLoad};
 use kibam::BatteryParams;
 use workload::LoadProfile;
 
@@ -83,6 +89,19 @@ impl SystemConfig {
         self.battery_count
     }
 
+    /// A freshly charged discretized-KiBaM backend for this configuration
+    /// (the paper's default model).
+    #[must_use]
+    pub fn discretized_model(&self) -> DiscretizedKibam {
+        DiscretizedKibam::new(&self.params, &self.disc, self.battery_count)
+    }
+
+    /// A freshly charged continuous-KiBaM backend for this configuration.
+    #[must_use]
+    pub fn continuous_model(&self) -> ContinuousKibam {
+        ContinuousKibam::new(&self.params, &self.disc, self.battery_count)
+    }
+
     /// The charge horizon used to truncate cyclic loads: a bit more than the
     /// combined capacity of all batteries.
     #[must_use]
@@ -105,9 +124,11 @@ impl SystemConfig {
 pub struct SystemOutcome {
     lifetime_steps: Option<u64>,
     disc: Discretization,
+    backend: &'static str,
     schedule: Schedule,
     trace: SystemTrace,
-    final_state: MultiBatteryState,
+    final_charges: Vec<BatteryCharge>,
+    residual_charge: f64,
 }
 
 impl SystemOutcome {
@@ -124,6 +145,12 @@ impl SystemOutcome {
         self.lifetime_steps.map(|s| self.disc.steps_to_minutes(s))
     }
 
+    /// The name of the battery backend that produced this outcome.
+    #[must_use]
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
     /// The schedule that was executed.
     #[must_use]
     pub fn schedule(&self) -> &Schedule {
@@ -137,10 +164,10 @@ impl SystemOutcome {
         &self.trace
     }
 
-    /// The battery states when the simulation stopped.
+    /// Per-battery charge snapshots when the simulation stopped.
     #[must_use]
-    pub fn final_state(&self) -> &MultiBatteryState {
-        &self.final_state
+    pub fn final_charges(&self) -> &[BatteryCharge] {
+        &self.final_charges
     }
 
     /// Total charge left in the batteries at the end, in A·min. The paper
@@ -148,11 +175,12 @@ impl SystemOutcome {
     /// `ILs alt` two-battery experiment.
     #[must_use]
     pub fn residual_charge(&self) -> f64 {
-        self.final_state.total_charge(&self.disc)
+        self.residual_charge
     }
 }
 
-/// Simulates `policy` on `profile` under `config`.
+/// Simulates `policy` on `profile` under `config`, using the discretized
+/// KiBaM backend (the paper's model).
 ///
 /// # Errors
 ///
@@ -168,7 +196,8 @@ pub fn simulate_policy(
     simulate_policy_on(config, &load, policy)
 }
 
-/// Simulates `policy` on an already-discretized load.
+/// Simulates `policy` on an already-discretized load, using the discretized
+/// KiBaM backend.
 ///
 /// # Errors
 ///
@@ -178,25 +207,51 @@ pub fn simulate_policy_on(
     load: &DiscretizedLoad,
     policy: &mut dyn SchedulingPolicy,
 ) -> Result<SystemOutcome, SchedError> {
+    let mut model = config.discretized_model();
+    simulate_policy_with(config, load, policy, &mut model)
+}
+
+/// Simulates `policy` on an already-discretized load against an arbitrary
+/// [`BatteryModel`] backend.
+///
+/// The model is [`reset`](BatteryModel::reset) before the run, so the same
+/// backend instance can be reused across simulations. The backend must have
+/// been built for the same battery parameters and discretization as
+/// `config` (the [`SystemConfig::discretized_model`] and
+/// [`SystemConfig::continuous_model`] constructors guarantee this).
+///
+/// # Errors
+///
+/// Propagates backend errors and [`SchedError::InvalidBatteryIndex`] if the
+/// policy returns an index outside the system.
+pub fn simulate_policy_with<M: BatteryModel>(
+    config: &SystemConfig,
+    load: &DiscretizedLoad,
+    policy: &mut dyn SchedulingPolicy,
+    model: &mut M,
+) -> Result<SystemOutcome, SchedError> {
     policy.reset();
-    let params = &config.params;
-    let disc = &config.disc;
-    let table = RecoveryTable::for_battery(params, disc);
-    let mut state = MultiBatteryState::new_full(params, disc, config.battery_count);
+    model.reset();
+    let battery_count = model.battery_count();
     let mut elapsed: u64 = 0;
     let mut job_index: usize = 0;
     let mut decision_index: usize = 0;
     let mut schedule = Schedule::default();
     let mut trace = SystemTrace::default();
+    let mut charges = Vec::with_capacity(battery_count);
     let sampling = config.sample_interval_steps;
 
-    record_sample(&mut trace, sampling, elapsed, &state, None, params, disc);
+    record_sample(&mut trace, sampling, elapsed, model, None, config.disc());
 
     for epoch in load.epochs() {
         if epoch.is_idle() {
             advance_idle_sampled(
-                &mut state, &mut elapsed, epoch.duration_steps(), &table, sampling, &mut trace,
-                params, disc,
+                model,
+                &mut elapsed,
+                epoch.duration_steps(),
+                sampling,
+                &mut trace,
+                config.disc(),
             );
             continue;
         }
@@ -205,26 +260,25 @@ pub fn simulate_policy_on(
         let mut remaining = epoch.duration_steps();
         let mut continuation = false;
         while remaining > 0 {
-            let available = state.available(params);
+            let available = model.available();
             if available.is_empty() {
                 // All batteries are empty: the system died at `elapsed`.
-                return Ok(finish(Some(elapsed), config, schedule, trace, state));
+                return Ok(finish(Some(elapsed), config, model, schedule, trace));
             }
+            model.charges_into(&mut charges);
             let ctx = DecisionContext {
                 job_index,
                 continuation,
                 available: &available,
-                batteries: state.batteries(),
-                params,
-                disc,
+                charges: &charges,
             };
             let Some(chosen) = policy.choose(&ctx) else {
-                return Ok(finish(Some(elapsed), config, schedule, trace, state));
+                return Ok(finish(Some(elapsed), config, model, schedule, trace));
             };
-            if chosen >= config.battery_count {
+            if chosen >= battery_count {
                 return Err(SchedError::InvalidBatteryIndex {
                     index: chosen,
-                    count: config.battery_count,
+                    count: battery_count,
                 });
             }
 
@@ -234,17 +288,15 @@ pub fn simulate_policy_on(
             let mut battery_died = false;
             while remaining > 0 {
                 let chunk = chunk_size(remaining, interval, sampling);
-                let advance = state.advance_job(
+                let advance = model.advance_job(
                     chosen,
                     chunk,
                     epoch.draw_interval_steps(),
                     epoch.units_per_draw(),
-                    &table,
-                    params,
                 )?;
                 elapsed += advance.steps_consumed;
                 remaining -= advance.steps_consumed;
-                record_sample(&mut trace, sampling, elapsed, &state, Some(chosen), params, disc);
+                record_sample(&mut trace, sampling, elapsed, model, Some(chosen), config.disc());
                 if !advance.completed {
                     battery_died = true;
                     break;
@@ -260,9 +312,9 @@ pub fn simulate_policy_on(
             });
             decision_index += 1;
             if battery_died {
-                if state.available(params).is_empty() {
+                if model.available().is_empty() {
                     // The last battery died while serving: system lifetime.
-                    return Ok(finish(Some(elapsed), config, schedule, trace, state));
+                    return Ok(finish(Some(elapsed), config, model, schedule, trace));
                 }
                 continuation = true;
             }
@@ -270,17 +322,25 @@ pub fn simulate_policy_on(
         job_index += 1;
     }
 
-    Ok(finish(None, config, schedule, trace, state))
+    Ok(finish(None, config, model, schedule, trace))
 }
 
-fn finish(
+fn finish<M: BatteryModel>(
     lifetime_steps: Option<u64>,
     config: &SystemConfig,
+    model: &M,
     schedule: Schedule,
     trace: SystemTrace,
-    state: MultiBatteryState,
 ) -> SystemOutcome {
-    SystemOutcome { lifetime_steps, disc: config.disc, schedule, trace, final_state: state }
+    SystemOutcome {
+        lifetime_steps,
+        disc: config.disc,
+        backend: model.backend_name(),
+        schedule,
+        trace,
+        final_charges: model.charges(),
+        residual_charge: model.total_charge(),
+    }
 }
 
 /// Chooses the next chunk of a job: a multiple of the draw interval close to
@@ -289,44 +349,39 @@ fn chunk_size(remaining: u64, interval: u64, sampling: Option<u64>) -> u64 {
     match sampling {
         None => remaining,
         Some(sample) => {
-            let aligned = if interval == 0 {
-                sample
-            } else {
-                (sample.max(interval) / interval) * interval
+            let aligned = match sample.max(interval).checked_div(interval) {
+                None => sample,
+                Some(quotient) => quotient * interval,
             };
             aligned.max(1).min(remaining)
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn advance_idle_sampled(
-    state: &mut MultiBatteryState,
+fn advance_idle_sampled<M: BatteryModel>(
+    model: &mut M,
     elapsed: &mut u64,
     duration: u64,
-    table: &RecoveryTable,
     sampling: Option<u64>,
     trace: &mut SystemTrace,
-    params: &BatteryParams,
     disc: &Discretization,
 ) {
     let mut remaining = duration;
     while remaining > 0 {
         let chunk = sampling.unwrap_or(remaining).max(1).min(remaining);
-        state.advance_idle(chunk, table);
+        model.advance_idle(chunk);
         *elapsed += chunk;
         remaining -= chunk;
-        record_sample(trace, sampling, *elapsed, state, None, params, disc);
+        record_sample(trace, sampling, *elapsed, model, None, disc);
     }
 }
 
-fn record_sample(
+fn record_sample<M: BatteryModel>(
     trace: &mut SystemTrace,
     sampling: Option<u64>,
     elapsed: u64,
-    state: &MultiBatteryState,
+    model: &M,
     active: Option<usize>,
-    params: &BatteryParams,
     disc: &Discretization,
 ) {
     if sampling.is_none() {
@@ -334,14 +389,7 @@ fn record_sample(
     }
     trace.points.push(SystemTracePoint {
         time: disc.steps_to_minutes(elapsed),
-        charges: state
-            .batteries()
-            .iter()
-            .map(|b| BatteryCharge {
-                total: b.total_charge(disc),
-                available: b.available_charge(params, disc),
-            })
-            .collect(),
+        charges: model.charges(),
         active,
     });
 }
@@ -358,6 +406,16 @@ mod tests {
 
     fn lifetime(policy: &mut dyn SchedulingPolicy, load: TestLoad) -> f64 {
         simulate_policy(&two_b1(), &load.profile(), policy)
+            .unwrap()
+            .lifetime_minutes()
+            .expect("paper loads exhaust both batteries")
+    }
+
+    fn continuous_lifetime(policy: &mut dyn SchedulingPolicy, load: TestLoad) -> f64 {
+        let config = two_b1();
+        let discretized = config.discretize(&load.profile()).unwrap();
+        let mut model = config.continuous_model();
+        simulate_policy_with(&config, &discretized, policy, &mut model)
             .unwrap()
             .lifetime_minutes()
             .expect("paper loads exhaust both batteries")
@@ -422,12 +480,9 @@ mod tests {
 
     #[test]
     fn two_batteries_last_longer_than_one() {
-        let single = SystemConfig::new(
-            BatteryParams::itsy_b1(),
-            Discretization::paper_default(),
-            1,
-        )
-        .unwrap();
+        let single =
+            SystemConfig::new(BatteryParams::itsy_b1(), Discretization::paper_default(), 1)
+                .unwrap();
         let one = simulate_policy(&single, &TestLoad::Ils500.profile(), &mut Sequential::new())
             .unwrap()
             .lifetime_minutes()
@@ -454,8 +509,8 @@ mod tests {
 
     #[test]
     fn trace_is_recorded_only_when_sampling_enabled() {
-        let without = simulate_policy(&two_b1(), &TestLoad::Cl500.profile(), &mut RoundRobin::new())
-            .unwrap();
+        let without =
+            simulate_policy(&two_b1(), &TestLoad::Cl500.profile(), &mut RoundRobin::new()).unwrap();
         assert!(without.trace().is_empty());
         let with = simulate_policy(
             &two_b1().with_sampling(10),
@@ -482,6 +537,9 @@ mod tests {
                 .unwrap();
         let fraction = outcome.residual_charge() / (2.0 * 5.5);
         assert!(fraction > 0.5 && fraction < 0.85, "residual fraction {fraction}");
+        assert_eq!(outcome.final_charges().len(), 2);
+        let from_snapshots: f64 = outcome.final_charges().iter().map(|c| c.total).sum();
+        assert!((from_snapshots - outcome.residual_charge()).abs() < 1e-9);
     }
 
     #[test]
@@ -501,5 +559,47 @@ mod tests {
         let outcome = simulate_policy(&two_b1(), &profile, &mut Sequential::new()).unwrap();
         assert_eq!(outcome.lifetime_steps(), None);
         assert!(outcome.residual_charge() > 10.0);
+    }
+
+    #[test]
+    fn backend_name_is_reported() {
+        let config = two_b1();
+        let load = config.discretize(&TestLoad::Cl500.profile()).unwrap();
+        let discrete = simulate_policy_on(&config, &load, &mut RoundRobin::new()).unwrap();
+        assert_eq!(discrete.backend(), "discretized");
+        let mut model = config.continuous_model();
+        let continuous =
+            simulate_policy_with(&config, &load, &mut RoundRobin::new(), &mut model).unwrap();
+        assert_eq!(continuous.backend(), "continuous");
+    }
+
+    #[test]
+    fn continuous_backend_agrees_with_discretized_within_tolerance() {
+        // Tables 3 and 4 report ~1-2 % agreement between the continuous and
+        // discretized models; the same must hold for the two-battery system
+        // simulation through the trait path.
+        for load in [TestLoad::Cl500, TestLoad::Ils500, TestLoad::IlsAlt] {
+            let discrete = lifetime(&mut RoundRobin::new(), load);
+            let continuous = continuous_lifetime(&mut RoundRobin::new(), load);
+            let relative = (discrete - continuous).abs() / continuous;
+            assert!(
+                relative < 0.03,
+                "{load}: discretized {discrete:.3} vs continuous {continuous:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_backend_can_be_reused_across_runs() {
+        let config = two_b1();
+        let load = config.discretize(&TestLoad::Ils500.profile()).unwrap();
+        let mut model = config.continuous_model();
+        let first = simulate_policy_with(&config, &load, &mut RoundRobin::new(), &mut model)
+            .unwrap()
+            .lifetime_steps();
+        let second = simulate_policy_with(&config, &load, &mut RoundRobin::new(), &mut model)
+            .unwrap()
+            .lifetime_steps();
+        assert_eq!(first, second, "the model is reset between runs");
     }
 }

@@ -23,7 +23,7 @@
 //! model only a limited total battery capacity", Section 6).
 
 use crate::SchedError;
-use dkibam::{DiscretizedLoad, Discretization, RecoveryTable};
+use dkibam::{Discretization, DiscretizedLoad, RecoveryTable};
 use kibam::BatteryParams;
 use pta::automaton::{Automaton, Edge, Location};
 use pta::expr::{BoolExpr, CmpOp, IntExpr, VarId};
@@ -137,11 +137,8 @@ pub fn build_ta_kibam(
     // The recovery table is sized so that `recov_time[m + cur[j]]` stays in
     // bounds even when a full battery takes its next draw.
     let max_units_per_draw = epochs.iter().map(|e| e.units_per_draw()).max().unwrap_or(1);
-    let recovery = RecoveryTable::new(
-        params,
-        disc,
-        disc.charge_units(params.capacity()) + max_units_per_draw,
-    );
+    let recovery =
+        RecoveryTable::new(params, disc, disc.charge_units(params.capacity()) + max_units_per_draw);
     let recov_values: Vec<i64> = (0..=recovery.max_units())
         .map(|m| recovery.steps(m).map(|s| s as i64).unwrap_or(never))
         .collect();
@@ -217,7 +214,8 @@ pub fn build_ta_kibam(
                 .with_update(n_gamma[i], IntExpr::var(n_gamma[i]).sub(cur_j()))
                 .with_reset(c_disch[i]),
         )?;
-        automaton.add_edge(Edge::new(on, empty_signal).with_guard(is_empty(i)).with_send(emptied))?;
+        automaton
+            .add_edge(Edge::new(on, empty_signal).with_guard(is_empty(i)).with_send(emptied))?;
         // A battery may only be switched off while it is still non-empty, so
         // that emptiness is always observed (and the battery retired).
         automaton.add_edge(Edge::new(on, idle).with_receive(go_off).with_guard(not_empty(i)))?;
@@ -241,8 +239,7 @@ pub fn build_ta_kibam(
             BoolExpr::clock_le(c_recov[i], IntExpr::elem(recov_time, IntExpr::var(m_delta[i]))),
         ));
         let off = automaton.add_location(Location::new("off"));
-        let recov_after_draw =
-            IntExpr::elem(recov_time, IntExpr::var(m_delta[i]).add(cur_j()));
+        let recov_after_draw = IntExpr::elem(recov_time, IntExpr::var(m_delta[i]).add(cur_j()));
         // Draw without pending catch-up.
         automaton.add_edge(
             Edge::new(track, track)
@@ -265,12 +262,10 @@ pub fn build_ta_kibam(
         // Ordinary recovery of one height unit.
         automaton.add_edge(
             Edge::new(track, track)
-                .with_guard(
-                    BoolExpr::cmp(m_delta[i], CmpOp::Ge, 2).and(BoolExpr::clock_ge(
-                        c_recov[i],
-                        IntExpr::elem(recov_time, IntExpr::var(m_delta[i])),
-                    )),
-                )
+                .with_guard(BoolExpr::cmp(m_delta[i], CmpOp::Ge, 2).and(BoolExpr::clock_ge(
+                    c_recov[i],
+                    IntExpr::elem(recov_time, IntExpr::var(m_delta[i])),
+                )))
                 .with_update(m_delta[i], IntExpr::var(m_delta[i]).sub(IntExpr::constant(1)))
                 .with_reset(c_recov[i]),
         )?;
@@ -283,15 +278,17 @@ pub fn build_ta_kibam(
     {
         let mut automaton = Automaton::new("load");
         let start = automaton.add_location(Location::new("start").committed());
-        let load_on = automaton
-            .add_location(Location::new("load_on").with_invariant(BoolExpr::clock_le(t_clock, load_time_j())));
+        let load_on = automaton.add_location(
+            Location::new("load_on").with_invariant(BoolExpr::clock_le(t_clock, load_time_j())),
+        );
         let dispatch = automaton.add_location(Location::new("dispatch").committed());
         let finished = automaton.add_location(Location::new("finished"));
         let off = automaton.add_location(Location::new("off"));
 
         let first_is_job = BoolExpr::cmp(IntExpr::elem(cur, IntExpr::constant(0)), CmpOp::Gt, 0);
         let first_is_idle = BoolExpr::cmp(IntExpr::elem(cur, IntExpr::constant(0)), CmpOp::Eq, 0);
-        automaton.add_edge(Edge::new(start, load_on).with_guard(first_is_job).with_send(new_job))?;
+        automaton
+            .add_edge(Edge::new(start, load_on).with_guard(first_is_job).with_send(new_job))?;
         automaton.add_edge(Edge::new(start, load_on).with_guard(first_is_idle))?;
 
         let epoch_over = BoolExpr::clock_ge(t_clock, load_time_j());
@@ -314,8 +311,7 @@ pub fn build_ta_kibam(
                 .with_guard(more_epochs.clone().and(job_epoch))
                 .with_send(new_job),
         )?;
-        automaton
-            .add_edge(Edge::new(dispatch, load_on).with_guard(more_epochs.and(idle_epoch)))?;
+        automaton.add_edge(Edge::new(dispatch, load_on).with_guard(more_epochs.and(idle_epoch)))?;
         automaton.add_edge(Edge::new(dispatch, finished).with_guard(BoolExpr::cmp(
             j,
             CmpOp::Ge,
@@ -413,11 +409,7 @@ mod tests {
     fn tiny_setup() -> (BatteryParams, Discretization, workload::LoadProfile) {
         let params = BatteryParams::new(0.04, 0.5, 2.0).unwrap();
         let disc = Discretization::new(0.05, 0.01).unwrap();
-        let profile = LoadProfileBuilder::new()
-            .job(0.1, 0.2)
-            .idle(0.2)
-            .build_cyclic()
-            .unwrap();
+        let profile = LoadProfileBuilder::new().job(0.1, 0.2).idle(0.2).build_cyclic().unwrap();
         (params, disc, profile)
     }
 
@@ -436,10 +428,7 @@ mod tests {
     fn rejects_zero_batteries() {
         let (params, disc, profile) = tiny_setup();
         let load = DiscretizedLoad::from_profile(&profile, &disc, 0.15).unwrap();
-        assert!(matches!(
-            build_ta_kibam(&params, &disc, &load, 0),
-            Err(SchedError::NoBatteries)
-        ));
+        assert!(matches!(build_ta_kibam(&params, &disc, &load, 0), Err(SchedError::NoBatteries)));
     }
 
     #[test]

@@ -190,10 +190,7 @@ impl DiscretizedLoad {
 /// Finds the smallest `(units, interval)` pair such that drawing `units`
 /// charge units every `interval` time steps realises `current` exactly (to
 /// within floating-point tolerance).
-fn represent_current(
-    current: f64,
-    disc: &Discretization,
-) -> Result<(u32, u32), DkibamError> {
+fn represent_current(current: f64, disc: &Discretization) -> Result<(u32, u32), DkibamError> {
     // current = units * Γ / (interval * T)  =>  units / interval = current·T/Γ.
     let ratio = current * disc.time_step() / disc.charge_unit();
     if !(ratio.is_finite() && ratio > 0.0) {

@@ -48,6 +48,13 @@ impl MultiBatteryState {
         Self { batteries }
     }
 
+    /// Overwrites this state with `other`, reusing the existing allocation
+    /// (derived `Clone` cannot; search schedulers restore states millions of
+    /// times).
+    pub fn copy_from(&mut self, other: &MultiBatteryState) {
+        self.batteries.clone_from(&other.batteries);
+    }
+
     /// The number of batteries in the system.
     #[must_use]
     pub fn battery_count(&self) -> usize {
@@ -67,10 +74,9 @@ impl MultiBatteryState {
     /// Returns [`DkibamError::BatteryIndexOutOfRange`] if `index` is not a
     /// valid battery index.
     pub fn battery(&self, index: usize) -> Result<&DiscreteBattery, DkibamError> {
-        self.batteries.get(index).ok_or(DkibamError::BatteryIndexOutOfRange {
-            index,
-            count: self.batteries.len(),
-        })
+        self.batteries
+            .get(index)
+            .ok_or(DkibamError::BatteryIndexOutOfRange { index, count: self.batteries.len() })
     }
 
     /// Indices of the batteries that can still serve a job: not yet observed
@@ -264,7 +270,7 @@ mod tests {
 
     #[test]
     fn idle_advance_recovers_all_batteries() {
-        let (params, disc, table) = setup();
+        let (params, _disc, table) = setup();
         let used_a = DiscreteBattery::from_units(400, 60);
         let used_b = DiscreteBattery::from_units(300, 80);
         let mut state = MultiBatteryState::from_batteries(vec![used_a, used_b]);

@@ -8,7 +8,7 @@
 //!
 //! Tables 3 and 4 of the paper compare exactly these two computations.
 
-use crate::{DiscreteBattery, DiscretizedLoad, Discretization, DkibamError, RecoveryTable};
+use crate::{DiscreteBattery, Discretization, DiscretizedLoad, DkibamError, RecoveryTable};
 use kibam::BatteryParams;
 
 /// Outcome of a single-battery discrete simulation.
@@ -167,8 +167,7 @@ mod tests {
     fn coarse_discretization_still_close() {
         let params = BatteryParams::itsy_b1();
         let disc = Discretization::coarse();
-        let load =
-            DiscretizedLoad::from_profile(&TestLoad::Cl250.profile(), &disc, 11.0).unwrap();
+        let load = DiscretizedLoad::from_profile(&TestLoad::Cl250.profile(), &disc, 11.0).unwrap();
         let outcome = simulate_lifetime(&params, &disc, &load).unwrap();
         let lifetime = outcome.lifetime_minutes.unwrap();
         // Within ~5% of the analytic 4.53 min despite the 5x coarser grid.

@@ -1,0 +1,293 @@
+//! Executes expanded scenario grids, in parallel.
+//!
+//! The runner distributes scenarios over a fixed pool of scoped worker
+//! threads (`std::thread::scope` + an atomic work index — the environment is
+//! offline, so no `rayon`; the pattern is the same work-stealing-free
+//! chunking `rayon::par_iter` would apply to a grid this shape). Results
+//! come back in grid order regardless of completion order.
+
+use crate::json::JsonValue;
+use crate::spec::{BackendKind, Scenario, ScenarioSpec};
+use crate::EngineError;
+use battery_sched::system::{simulate_policy_with, SystemConfig, SystemOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// The measured outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// System lifetime in minutes, or `None` if the load ended before the
+    /// batteries died (finite loads only).
+    pub lifetime_minutes: Option<f64>,
+    /// Charge left in the batteries when the run stopped, in A·min.
+    pub residual_charge: f64,
+    /// Number of battery switches in the executed schedule.
+    pub switches: u64,
+    /// Number of scheduling decisions taken.
+    pub decisions: u64,
+    /// Wall-clock time of the simulation in microseconds.
+    pub wall_micros: u64,
+}
+
+impl ScenarioResult {
+    /// The result as a JSON document model (scenario descriptor inlined, so
+    /// a result set is self-describing).
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("battery", JsonValue::String(self.scenario.battery.name.clone())),
+            ("battery_count", JsonValue::Number(self.scenario.battery_count as f64)),
+            ("time_step", JsonValue::Number(self.scenario.disc.time_step)),
+            ("charge_unit", JsonValue::Number(self.scenario.disc.charge_unit)),
+            ("load", JsonValue::String(self.scenario.load.name())),
+            ("policy", JsonValue::String(self.scenario.policy.name().to_owned())),
+            ("backend", JsonValue::String(self.scenario.backend.name().to_owned())),
+            ("lifetime_minutes", self.lifetime_minutes.map_or(JsonValue::Null, JsonValue::Number)),
+            ("residual_charge", JsonValue::Number(self.residual_charge)),
+            ("switches", JsonValue::Number(self.switches as f64)),
+            ("decisions", JsonValue::Number(self.decisions as f64)),
+            ("wall_micros", JsonValue::Number(self.wall_micros as f64)),
+        ])
+    }
+}
+
+/// Renders a full result set (spec + per-scenario results) as a JSON
+/// document. This is the format of `BENCH_scenarios.json`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Json`] if a number is non-finite.
+pub fn results_to_json(
+    spec: &ScenarioSpec,
+    results: &[ScenarioResult],
+) -> Result<String, EngineError> {
+    let document = JsonValue::object(vec![
+        ("spec", spec.to_json_value()),
+        ("results", JsonValue::Array(results.iter().map(ScenarioResult::to_json_value).collect())),
+    ]);
+    Ok(document.render()?)
+}
+
+/// Parses the `results` half of a document produced by [`results_to_json`]
+/// back into summary rows `(label fields, lifetime, residual)`. Scenario
+/// descriptors in results are denormalized (name strings), so the parse
+/// returns the raw JSON objects for callers that want specific fields.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Json`] / [`EngineError::InvalidSpec`] on
+/// malformed documents.
+pub fn results_from_json(text: &str) -> Result<(ScenarioSpec, Vec<JsonValue>), EngineError> {
+    let document = JsonValue::parse(text)?;
+    let spec = ScenarioSpec::from_json_value(
+        document.get("spec").ok_or_else(|| EngineError::InvalidSpec("missing 'spec'".into()))?,
+    )?;
+    let results = document
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| EngineError::InvalidSpec("missing 'results'".into()))?
+        .to_vec();
+    Ok((spec, results))
+}
+
+/// Runs a single scenario.
+///
+/// # Errors
+///
+/// Propagates spec-validation and simulation errors.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, EngineError> {
+    let params = scenario.battery.to_params()?;
+    let disc = scenario.disc.to_discretization()?;
+    let config = SystemConfig::new(params, disc, scenario.battery_count)?;
+    let profile = scenario.load.profile()?;
+    let load = config.discretize(&profile)?;
+    let mut policy = scenario.policy.build();
+
+    let start = Instant::now();
+    let outcome: SystemOutcome = match scenario.backend {
+        BackendKind::Discretized => {
+            let mut model = config.discretized_model();
+            simulate_policy_with(&config, &load, policy.as_mut(), &mut model)?
+        }
+        BackendKind::Continuous => {
+            let mut model = config.continuous_model();
+            simulate_policy_with(&config, &load, policy.as_mut(), &mut model)?
+        }
+    };
+    let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        lifetime_minutes: outcome.lifetime_minutes(),
+        residual_charge: outcome.residual_charge(),
+        switches: outcome.schedule().switches() as u64,
+        decisions: outcome.schedule().assignments.len() as u64,
+        wall_micros,
+    })
+}
+
+/// Runs every scenario of the grid in parallel and returns the results in
+/// grid order. Uses one worker per available CPU (capped by the number of
+/// scenarios).
+///
+/// # Errors
+///
+/// Returns the first scenario error encountered (in grid order).
+pub fn run_grid(spec: &ScenarioSpec) -> Result<Vec<ScenarioResult>, EngineError> {
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    run_grid_with_threads(spec, threads)
+}
+
+/// Like [`run_grid`] with an explicit worker count (1 runs inline).
+///
+/// # Errors
+///
+/// Same as [`run_grid`].
+pub fn run_grid_with_threads(
+    spec: &ScenarioSpec,
+    threads: usize,
+) -> Result<Vec<ScenarioResult>, EngineError> {
+    let scenarios = spec.expand();
+    let mut outcomes = run_scenarios_parallel(&scenarios, threads);
+    // Surface the first error in grid order; otherwise unwrap all results.
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes.drain(..) {
+        results.push(outcome?);
+    }
+    Ok(results)
+}
+
+/// Runs a list of scenarios on `threads` workers, returning one outcome per
+/// scenario, in input order.
+#[must_use]
+pub fn run_scenarios_parallel(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Vec<Result<ScenarioResult, EngineError>> {
+    let workers = threads.max(1).min(scenarios.len().max(1));
+    if workers <= 1 || scenarios.len() <= 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel::<(usize, Result<ScenarioResult, EngineError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= scenarios.len() {
+                    break;
+                }
+                // A send only fails if the receiver is gone, which cannot
+                // happen while the scope is alive.
+                let _ = sender.send((index, run_scenario(&scenarios[index])));
+            });
+        }
+    });
+    drop(sender);
+
+    let mut outcomes: Vec<Option<Result<ScenarioResult, EngineError>>> =
+        (0..scenarios.len()).map(|_| None).collect();
+    for (index, outcome) in receiver {
+        outcomes[index] = Some(outcome);
+    }
+    outcomes
+        .into_iter()
+        .map(|slot| slot.expect("every scenario index is executed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BatterySpec, DiscSpec, LoadSpec, PolicyKind};
+    use workload::paper_loads::TestLoad;
+
+    fn small_grid() -> ScenarioSpec {
+        ScenarioSpec {
+            batteries: vec![BatterySpec::b1()],
+            battery_counts: vec![2],
+            discretizations: vec![DiscSpec::paper()],
+            loads: vec![
+                LoadSpec::Paper(TestLoad::Cl500),
+                LoadSpec::Paper(TestLoad::Ils500),
+                LoadSpec::Paper(TestLoad::IlsAlt),
+                LoadSpec::Paper(TestLoad::Ill250),
+            ],
+            policies: vec![PolicyKind::RoundRobin, PolicyKind::BestOfTwo],
+            backends: vec![BackendKind::Discretized],
+        }
+    }
+
+    #[test]
+    fn grid_runs_in_parallel_and_matches_serial_execution() {
+        let spec = small_grid();
+        let serial = run_grid_with_threads(&spec, 1).unwrap();
+        let parallel = run_grid_with_threads(&spec, 4).unwrap();
+        assert_eq!(serial.len(), 8);
+        assert_eq!(parallel.len(), 8);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.scenario, b.scenario, "results must come back in grid order");
+            assert_eq!(a.lifetime_minutes, b.lifetime_minutes);
+            assert_eq!(a.switches, b.switches);
+        }
+    }
+
+    #[test]
+    fn results_match_the_paper_through_the_engine() {
+        let spec = small_grid();
+        let results = run_grid(&spec).unwrap();
+        let rr_ils500 = results
+            .iter()
+            .find(|r| {
+                r.scenario.load.name() == "ILs 500" && r.scenario.policy == PolicyKind::RoundRobin
+            })
+            .unwrap();
+        let lifetime = rr_ils500.lifetime_minutes.unwrap();
+        assert!((lifetime - 10.48).abs() < 0.15, "Table 5 ILs 500 round robin: {lifetime}");
+    }
+
+    #[test]
+    fn result_set_round_trips_through_json() {
+        let spec = small_grid();
+        let results = run_grid(&spec).unwrap();
+        let json = results_to_json(&spec, &results).unwrap();
+        let (spec_back, raw_results) = results_from_json(&json).unwrap();
+        assert_eq!(spec_back, spec);
+        assert_eq!(raw_results.len(), results.len());
+        for (raw, result) in raw_results.iter().zip(&results) {
+            assert_eq!(raw.get("load").unwrap().as_str().unwrap(), result.scenario.load.name());
+            assert_eq!(
+                raw.get("lifetime_minutes").unwrap().as_f64(),
+                result.lifetime_minutes,
+                "lifetimes survive the JSON round-trip bit-exactly"
+            );
+            assert_eq!(raw.get("switches").unwrap().as_u64(), Some(result.switches));
+        }
+    }
+
+    #[test]
+    fn continuous_backend_runs_through_the_engine() {
+        let mut spec = small_grid();
+        spec.backends = vec![BackendKind::Continuous];
+        spec.loads.truncate(2);
+        let results = run_grid(&spec).unwrap();
+        assert_eq!(results.len(), 4);
+        for result in &results {
+            assert!(result.lifetime_minutes.unwrap() > 1.0);
+        }
+    }
+
+    #[test]
+    fn invalid_scenarios_surface_errors() {
+        let mut spec = small_grid();
+        spec.batteries =
+            vec![BatterySpec { name: "bad".into(), capacity: -5.0, c: 0.2, k_prime: 0.1 }];
+        assert!(run_grid(&spec).is_err());
+    }
+}

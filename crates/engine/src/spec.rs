@@ -1,0 +1,610 @@
+//! Declarative scenario grids.
+//!
+//! A [`ScenarioSpec`] describes a *grid* of experiments — battery types ×
+//! battery counts × discretizations × loads × policies × backends — in a
+//! JSON-serializable form. [`ScenarioSpec::expand`] turns the grid into the
+//! concrete [`Scenario`]s the runner executes; the five bespoke benchmark
+//! loops of the seed repository become one-line grids this way, and
+//! heterogeneous sweeps (several battery types, several backends) are just
+//! longer axes.
+
+use crate::json::JsonValue;
+use crate::EngineError;
+use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
+use kibam::BatteryParams;
+use workload::builder::LoadProfileBuilder;
+use workload::paper_loads::TestLoad;
+use workload::LoadProfile;
+
+/// A battery type in a scenario grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatterySpec {
+    /// Display name (e.g. `"B1"`).
+    pub name: String,
+    /// Capacity `C` in A·min.
+    pub capacity: f64,
+    /// Available-charge well fraction `c`.
+    pub c: f64,
+    /// Normalised rate constant `k'` in 1/min.
+    pub k_prime: f64,
+}
+
+impl BatterySpec {
+    /// The paper's battery B1 (5.5 A·min Itsy cell).
+    #[must_use]
+    pub fn b1() -> Self {
+        Self::from_params("B1", &BatteryParams::itsy_b1())
+    }
+
+    /// The paper's battery B2 (11 A·min Itsy cell).
+    #[must_use]
+    pub fn b2() -> Self {
+        Self::from_params("B2", &BatteryParams::itsy_b2())
+    }
+
+    /// Wraps validated [`BatteryParams`] with a display name.
+    #[must_use]
+    pub fn from_params(name: &str, params: &BatteryParams) -> Self {
+        Self {
+            name: name.to_owned(),
+            capacity: params.capacity(),
+            c: params.c(),
+            k_prime: params.k_prime(),
+        }
+    }
+
+    /// Validates the spec into [`BatteryParams`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Kibam`] for invalid parameters.
+    pub fn to_params(&self) -> Result<BatteryParams, EngineError> {
+        Ok(BatteryParams::new(self.capacity, self.c, self.k_prime)?)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", JsonValue::String(self.name.clone())),
+            ("capacity", JsonValue::Number(self.capacity)),
+            ("c", JsonValue::Number(self.c)),
+            ("k_prime", JsonValue::Number(self.k_prime)),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+        Ok(Self {
+            name: require_str(value, "name")?.to_owned(),
+            capacity: require_f64(value, "capacity")?,
+            c: require_f64(value, "c")?,
+            k_prime: require_f64(value, "k_prime")?,
+        })
+    }
+}
+
+/// A discretization in a scenario grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscSpec {
+    /// Time step `T` in minutes.
+    pub time_step: f64,
+    /// Charge unit `Γ` in A·min.
+    pub charge_unit: f64,
+}
+
+impl DiscSpec {
+    /// The paper's grid (`T = Γ = 0.01`), derived from the canonical
+    /// [`dkibam::Discretization::paper_default`] so the two never diverge.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::from_discretization(&dkibam::Discretization::paper_default())
+    }
+
+    /// The coarse grid used for optimal searches (`T = Γ = 0.05`), derived
+    /// from the canonical [`dkibam::Discretization::coarse`].
+    #[must_use]
+    pub fn coarse() -> Self {
+        Self::from_discretization(&dkibam::Discretization::coarse())
+    }
+
+    /// Wraps an already-validated discretization.
+    #[must_use]
+    pub fn from_discretization(disc: &dkibam::Discretization) -> Self {
+        Self { time_step: disc.time_step(), charge_unit: disc.charge_unit() }
+    }
+
+    /// Validates the spec into a [`dkibam::Discretization`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Sched`] for non-positive steps.
+    pub fn to_discretization(&self) -> Result<dkibam::Discretization, EngineError> {
+        Ok(dkibam::Discretization::new(self.time_step, self.charge_unit)
+            .map_err(battery_sched::SchedError::from)?)
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::object(vec![
+            ("time_step", JsonValue::Number(self.time_step)),
+            ("charge_unit", JsonValue::Number(self.charge_unit)),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+        Ok(Self {
+            time_step: require_f64(value, "time_step")?,
+            charge_unit: require_f64(value, "charge_unit")?,
+        })
+    }
+}
+
+/// A scheduling policy in a scenario grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Use batteries one after the other (the paper's worst schedule).
+    Sequential,
+    /// Cycle through the batteries job by job.
+    RoundRobin,
+    /// Always pick the battery with the most available charge.
+    BestOfTwo,
+}
+
+impl PolicyKind {
+    /// All built-in policies.
+    #[must_use]
+    pub fn all() -> [PolicyKind; 3] {
+        [PolicyKind::Sequential, PolicyKind::RoundRobin, PolicyKind::BestOfTwo]
+    }
+
+    /// The stable name used in JSON and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Sequential => "sequential",
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::BestOfTwo => "best-of-two",
+        }
+    }
+
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Sequential => Box::new(Sequential::new()),
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            PolicyKind::BestOfTwo => Box::new(BestAvailable::new()),
+        }
+    }
+
+    fn from_name(name: &str) -> Result<Self, EngineError> {
+        PolicyKind::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| EngineError::InvalidSpec(format!("unknown policy '{name}'")))
+    }
+}
+
+/// A battery-model backend in a scenario grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The discretized KiBaM (the paper's model).
+    Discretized,
+    /// The closed-form continuous KiBaM.
+    Continuous,
+}
+
+impl BackendKind {
+    /// All built-in backends.
+    #[must_use]
+    pub fn all() -> [BackendKind; 2] {
+        [BackendKind::Discretized, BackendKind::Continuous]
+    }
+
+    /// The stable name used in JSON and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Discretized => "discretized",
+            BackendKind::Continuous => "continuous",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<Self, EngineError> {
+        BackendKind::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| EngineError::InvalidSpec(format!("unknown backend '{name}'")))
+    }
+}
+
+/// A load in a scenario grid: one of the paper's named test loads or a
+/// custom piecewise-constant profile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadSpec {
+    /// One of the ten test loads of Section 5, by its paper name.
+    Paper(TestLoad),
+    /// A custom load given as `(current A, duration min)` epochs.
+    Custom {
+        /// Display name of the load.
+        name: String,
+        /// The epochs of (one period of) the load.
+        epochs: Vec<(f64, f64)>,
+        /// Whether the epoch pattern repeats forever.
+        cyclic: bool,
+    },
+}
+
+impl LoadSpec {
+    /// The load's display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            LoadSpec::Paper(load) => load.name().to_owned(),
+            LoadSpec::Custom { name, .. } => name.clone(),
+        }
+    }
+
+    /// Builds the load profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Workload`] for invalid custom epochs.
+    pub fn profile(&self) -> Result<LoadProfile, EngineError> {
+        match self {
+            LoadSpec::Paper(load) => Ok(load.profile()),
+            LoadSpec::Custom { epochs, cyclic, .. } => {
+                let mut builder = LoadProfileBuilder::new();
+                for &(current, duration) in epochs {
+                    builder = builder.job(current, duration);
+                }
+                Ok(if *cyclic { builder.build_cyclic()? } else { builder.build_finite()? })
+            }
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            LoadSpec::Paper(load) => JsonValue::object(vec![
+                ("kind", JsonValue::String("paper".to_owned())),
+                ("name", JsonValue::String(load.name().to_owned())),
+            ]),
+            LoadSpec::Custom { name, epochs, cyclic } => JsonValue::object(vec![
+                ("kind", JsonValue::String("custom".to_owned())),
+                ("name", JsonValue::String(name.clone())),
+                (
+                    "epochs",
+                    JsonValue::Array(
+                        epochs
+                            .iter()
+                            .map(|&(current, duration)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Number(current),
+                                    JsonValue::Number(duration),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("cyclic", JsonValue::Bool(*cyclic)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+        match require_str(value, "kind")? {
+            "paper" => {
+                let name = require_str(value, "name")?;
+                let load =
+                    TestLoad::all().into_iter().find(|l| l.name() == name).ok_or_else(|| {
+                        EngineError::InvalidSpec(format!("unknown paper load '{name}'"))
+                    })?;
+                Ok(LoadSpec::Paper(load))
+            }
+            "custom" => {
+                let epochs = value
+                    .get("epochs")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| missing("epochs"))?
+                    .iter()
+                    .map(|pair| {
+                        let items = pair.as_array().unwrap_or(&[]);
+                        match items {
+                            [current, duration] => Ok((
+                                current.as_f64().ok_or_else(|| missing("epoch current"))?,
+                                duration.as_f64().ok_or_else(|| missing("epoch duration"))?,
+                            )),
+                            _ => Err(EngineError::InvalidSpec(
+                                "an epoch must be a [current, duration] pair".to_owned(),
+                            )),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(LoadSpec::Custom {
+                    name: require_str(value, "name")?.to_owned(),
+                    epochs,
+                    cyclic: value
+                        .get("cyclic")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or_else(|| missing("cyclic"))?,
+                })
+            }
+            other => Err(EngineError::InvalidSpec(format!("unknown load kind '{other}'"))),
+        }
+    }
+}
+
+/// A declarative grid of scenarios: the cartesian product of every axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Battery types to sweep.
+    pub batteries: Vec<BatterySpec>,
+    /// Battery counts to sweep.
+    pub battery_counts: Vec<usize>,
+    /// Discretizations to sweep.
+    pub discretizations: Vec<DiscSpec>,
+    /// Loads to sweep.
+    pub loads: Vec<LoadSpec>,
+    /// Policies to sweep.
+    pub policies: Vec<PolicyKind>,
+    /// Backends to sweep.
+    pub backends: Vec<BackendKind>,
+}
+
+impl ScenarioSpec {
+    /// The paper's Table 5 experiment as a grid: 2 × B1 at the paper
+    /// discretization, all ten loads, all three deterministic policies, both
+    /// backends.
+    #[must_use]
+    pub fn paper_table5() -> Self {
+        Self {
+            batteries: vec![BatterySpec::b1()],
+            battery_counts: vec![2],
+            discretizations: vec![DiscSpec::paper()],
+            loads: TestLoad::all().into_iter().map(LoadSpec::Paper).collect(),
+            policies: PolicyKind::all().to_vec(),
+            backends: BackendKind::all().to_vec(),
+        }
+    }
+
+    /// The number of scenarios the grid expands to.
+    #[must_use]
+    pub fn scenario_count(&self) -> usize {
+        self.batteries.len()
+            * self.battery_counts.len()
+            * self.discretizations.len()
+            * self.loads.len()
+            * self.policies.len()
+            * self.backends.len()
+    }
+
+    /// Expands the grid into concrete scenarios (row-major over the axes in
+    /// declaration order).
+    #[must_use]
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(self.scenario_count());
+        for battery in &self.batteries {
+            for &battery_count in &self.battery_counts {
+                for &disc in &self.discretizations {
+                    for load in &self.loads {
+                        for &policy in &self.policies {
+                            for &backend in &self.backends {
+                                scenarios.push(Scenario {
+                                    battery: battery.clone(),
+                                    battery_count,
+                                    disc,
+                                    load: load.clone(),
+                                    policy,
+                                    backend,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// Serializes the grid to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Json`] if a number in the spec is non-finite.
+    pub fn to_json(&self) -> Result<String, EngineError> {
+        Ok(self.to_json_value().render()?)
+    }
+
+    /// The grid as a JSON document model.
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "batteries",
+                JsonValue::Array(self.batteries.iter().map(BatterySpec::to_json).collect()),
+            ),
+            (
+                "battery_counts",
+                JsonValue::Array(
+                    self.battery_counts.iter().map(|&n| JsonValue::Number(n as f64)).collect(),
+                ),
+            ),
+            (
+                "discretizations",
+                JsonValue::Array(
+                    self.discretizations.iter().copied().map(DiscSpec::to_json).collect(),
+                ),
+            ),
+            ("loads", JsonValue::Array(self.loads.iter().map(LoadSpec::to_json).collect())),
+            (
+                "policies",
+                JsonValue::Array(
+                    self.policies.iter().map(|p| JsonValue::String(p.name().to_owned())).collect(),
+                ),
+            ),
+            (
+                "backends",
+                JsonValue::Array(
+                    self.backends.iter().map(|b| JsonValue::String(b.name().to_owned())).collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a grid from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Json`] for malformed JSON and
+    /// [`EngineError::InvalidSpec`] for well-formed JSON that is not a grid.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// Parses a grid from an already-parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSpec::from_json`].
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, EngineError> {
+        Ok(Self {
+            batteries: require_array(value, "batteries")?
+                .iter()
+                .map(BatterySpec::from_json)
+                .collect::<Result<_, _>>()?,
+            battery_counts: require_array(value, "battery_counts")?
+                .iter()
+                .map(|n| {
+                    n.as_u64().map(|n| n as usize).ok_or_else(|| missing("battery_counts entry"))
+                })
+                .collect::<Result<_, _>>()?,
+            discretizations: require_array(value, "discretizations")?
+                .iter()
+                .map(DiscSpec::from_json)
+                .collect::<Result<_, _>>()?,
+            loads: require_array(value, "loads")?
+                .iter()
+                .map(LoadSpec::from_json)
+                .collect::<Result<_, _>>()?,
+            policies: require_array(value, "policies")?
+                .iter()
+                .map(|p| PolicyKind::from_name(p.as_str().unwrap_or_default()))
+                .collect::<Result<_, _>>()?,
+            backends: require_array(value, "backends")?
+                .iter()
+                .map(|b| BackendKind::from_name(b.as_str().unwrap_or_default()))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// One cell of an expanded grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The battery type.
+    pub battery: BatterySpec,
+    /// The number of identical batteries in the system.
+    pub battery_count: usize,
+    /// The discretization.
+    pub disc: DiscSpec,
+    /// The load.
+    pub load: LoadSpec,
+    /// The scheduling policy.
+    pub policy: PolicyKind,
+    /// The battery-model backend.
+    pub backend: BackendKind,
+}
+
+impl Scenario {
+    /// A compact human-readable label, e.g.
+    /// `"2xB1 ILs 500 round-robin discretized"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{} {} {} {}",
+            self.battery_count,
+            self.battery.name,
+            self.load.name(),
+            self.policy.name(),
+            self.backend.name()
+        )
+    }
+}
+
+fn missing(key: &str) -> EngineError {
+    EngineError::InvalidSpec(format!("missing or mistyped field '{key}'"))
+}
+
+fn require_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, EngineError> {
+    value.get(key).and_then(JsonValue::as_str).ok_or_else(|| missing(key))
+}
+
+fn require_f64(value: &JsonValue, key: &str) -> Result<f64, EngineError> {
+    value.get(key).and_then(JsonValue::as_f64).ok_or_else(|| missing(key))
+}
+
+fn require_array<'a>(value: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], EngineError> {
+    value.get(key).and_then(JsonValue::as_array).ok_or_else(|| missing(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_expands_to_the_full_product() {
+        let spec = ScenarioSpec::paper_table5();
+        // 1 battery x 1 count x 1 grid x 10 loads x 3 policies x 2 backends.
+        assert_eq!(spec.scenario_count(), 60);
+        let scenarios = spec.expand();
+        assert_eq!(scenarios.len(), spec.scenario_count());
+        // Every combination is distinct.
+        for (i, a) in scenarios.iter().enumerate() {
+            for b in &scenarios[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = ScenarioSpec::paper_table5();
+        spec.batteries.push(BatterySpec::b2());
+        spec.battery_counts.push(3);
+        spec.discretizations.push(DiscSpec::coarse());
+        spec.loads.push(LoadSpec::Custom {
+            name: "burst".to_owned(),
+            epochs: vec![(0.3, 0.5), (0.0, 1.5)],
+            cyclic: true,
+        });
+        let json = spec.to_json().unwrap();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let json = ScenarioSpec::paper_table5().to_json().unwrap();
+        let bad_policy = json.replace("round-robin", "lifo");
+        assert!(matches!(ScenarioSpec::from_json(&bad_policy), Err(EngineError::InvalidSpec(_))));
+        let bad_load = json.replace("CL 250", "CL 999");
+        assert!(matches!(ScenarioSpec::from_json(&bad_load), Err(EngineError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn custom_load_builds_a_profile() {
+        let load = LoadSpec::Custom {
+            name: "burst".to_owned(),
+            epochs: vec![(0.3, 0.5), (0.0, 1.5)],
+            cyclic: true,
+        };
+        let profile = load.profile().unwrap();
+        assert!(profile.is_cyclic());
+        assert_eq!(profile.pattern().len(), 2);
+        assert_eq!(load.name(), "burst");
+    }
+
+    #[test]
+    fn battery_spec_validates_parameters() {
+        assert!(BatterySpec::b1().to_params().is_ok());
+        let bad = BatterySpec { name: "bad".to_owned(), capacity: -1.0, c: 0.2, k_prime: 0.1 };
+        assert!(bad.to_params().is_err());
+    }
+}

@@ -195,10 +195,7 @@ mod tests {
     fn evolve_validates_arguments() {
         let params = b1();
         let full = TransformedState::full(&params);
-        assert!(matches!(
-            evolve(&params, full, -0.1, 1.0),
-            Err(KibamError::InvalidCurrent { .. })
-        ));
+        assert!(matches!(evolve(&params, full, -0.1, 1.0), Err(KibamError::InvalidCurrent { .. })));
         assert!(matches!(
             evolve(&params, full, 0.1, -1.0),
             Err(KibamError::InvalidDuration { .. })

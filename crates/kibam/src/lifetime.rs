@@ -162,8 +162,7 @@ where
                 });
             }
         }
-        current_state =
-            evolve_unchecked(params, current_state, segment.current, segment.duration);
+        current_state = evolve_unchecked(params, current_state, segment.current, segment.duration);
         elapsed += segment.duration;
     }
     None
@@ -308,13 +307,10 @@ mod tests {
             lifetime_for_segments(&params, repeat_jobs(vec![Segment::new(0.25, 1.0).unwrap()]))
                 .unwrap()
                 .lifetime;
-        let from_used = lifetime_from_state(
-            &params,
-            used,
-            repeat_jobs(vec![Segment::new(0.25, 1.0).unwrap()]),
-        )
-        .unwrap()
-        .lifetime;
+        let from_used =
+            lifetime_from_state(&params, used, repeat_jobs(vec![Segment::new(0.25, 1.0).unwrap()]))
+                .unwrap()
+                .lifetime;
         assert!(from_used < from_full);
     }
 }

@@ -148,14 +148,10 @@ mod tests {
         let current = 0.3;
         let outcome =
             integrate(&params, params.full_state(), 0.0, 1.5, 0.001, |_| current).unwrap();
-        let analytic_state = analytic::evolve(
-            &params,
-            TransformedState::full(&params),
-            current,
-            1.5,
-        )
-        .unwrap()
-        .to_two_well(&params);
+        let analytic_state =
+            analytic::evolve(&params, TransformedState::full(&params), current, 1.5)
+                .unwrap()
+                .to_two_well(&params);
         assert!((outcome.state.available() - analytic_state.available()).abs() < 1e-6);
         assert!((outcome.state.bound() - analytic_state.bound()).abs() < 1e-6);
     }
@@ -163,12 +159,9 @@ mod tests {
     #[test]
     fn numeric_lifetime_matches_analytic_lifetime() {
         let params = b1();
-        let analytic_lifetime = analytic::lifetime_constant_current(&params, 0.25)
-            .unwrap()
-            .unwrap();
-        let numeric_lifetime = lifetime_numeric(&params, |_| 0.25, 0.0005, 100.0)
-            .unwrap()
-            .unwrap();
+        let analytic_lifetime =
+            analytic::lifetime_constant_current(&params, 0.25).unwrap().unwrap();
+        let numeric_lifetime = lifetime_numeric(&params, |_| 0.25, 0.0005, 100.0).unwrap().unwrap();
         assert!(
             (analytic_lifetime - numeric_lifetime).abs() < 0.01,
             "analytic {analytic_lifetime} vs numeric {numeric_lifetime}"

@@ -71,22 +71,14 @@ impl BatteryParams {
     /// `k' = 0.122 / min` (Itsy pocket-computer lithium-ion cell).
     #[must_use]
     pub fn itsy_b1() -> Self {
-        Self {
-            capacity: ITSY_B1_CAPACITY,
-            c: ITSY_C,
-            k_prime: ITSY_K_PRIME,
-        }
+        Self { capacity: ITSY_B1_CAPACITY, c: ITSY_C, k_prime: ITSY_K_PRIME }
     }
 
     /// The battery **B2** of the paper: 11 A·min, `c = 0.166`,
     /// `k' = 0.122 / min`.
     #[must_use]
     pub fn itsy_b2() -> Self {
-        Self {
-            capacity: ITSY_B2_CAPACITY,
-            c: ITSY_C,
-            k_prime: ITSY_K_PRIME,
-        }
+        Self { capacity: ITSY_B2_CAPACITY, c: ITSY_C, k_prime: ITSY_K_PRIME }
     }
 
     /// Total capacity `C` in A·min.

@@ -79,10 +79,7 @@ impl TwoWellState {
     pub fn to_transformed(&self, params: &BatteryParams) -> TransformedState {
         let c = params.c();
         let delta = self.bound / (1.0 - c) - self.available / c;
-        TransformedState {
-            delta,
-            gamma: self.total(),
-        }
+        TransformedState { delta, gamma: self.total() }
     }
 }
 
@@ -106,10 +103,7 @@ impl TransformedState {
     /// The state of a freshly charged battery: `δ = 0`, `γ = C`.
     #[must_use]
     pub fn full(params: &BatteryParams) -> Self {
-        Self {
-            delta: 0.0,
-            gamma: params.capacity(),
-        }
+        Self { delta: 0.0, gamma: params.capacity() }
     }
 
     /// Converts back to the original two-well coordinates.

@@ -40,8 +40,7 @@ impl Trace {
     pub fn final_state(&self, params: &BatteryParams) -> Option<TwoWellState> {
         self.points.last().map(|p| {
             let bound = (p.total_charge - p.available_charge).max(0.0);
-            TwoWellState::new(p.available_charge, bound)
-                .unwrap_or_else(|_| params.full_state())
+            TwoWellState::new(p.available_charge, bound).unwrap_or_else(|_| params.full_state())
         })
     }
 }
@@ -106,12 +105,7 @@ where
     Ok(Trace { points, lifetime })
 }
 
-fn sample(
-    params: &BatteryParams,
-    time: f64,
-    state: TransformedState,
-    current: f64,
-) -> TracePoint {
+fn sample(params: &BatteryParams, time: f64, state: TransformedState, current: f64) -> TracePoint {
     TracePoint {
         time,
         total_charge: state.gamma,
@@ -147,19 +141,14 @@ mod tests {
     #[test]
     fn trace_lifetime_matches_lifetime_solver() {
         let params = b1();
-        let pattern = vec![
-            Segment::new(0.5, 1.0).unwrap(),
-            Segment::idle(1.0).unwrap(),
-        ];
+        let pattern = vec![Segment::new(0.5, 1.0).unwrap(), Segment::idle(1.0).unwrap()];
         let segments: Vec<Segment> =
             std::iter::repeat(pattern.clone()).flatten().take(40).collect();
         let trace = trace_segments(&params, segments, 0.05).unwrap();
-        let lifetime = crate::lifetime::lifetime_for_segments(
-            &params,
-            std::iter::repeat(pattern).flatten(),
-        )
-        .unwrap()
-        .lifetime;
+        let lifetime =
+            crate::lifetime::lifetime_for_segments(&params, std::iter::repeat(pattern).flatten())
+                .unwrap()
+                .lifetime;
         let traced = trace.lifetime.expect("battery empties within 40 segments");
         assert!((traced - lifetime).abs() < 1e-6, "{traced} vs {lifetime}");
     }
@@ -167,13 +156,11 @@ mod tests {
     #[test]
     fn samples_are_monotone_in_time_and_total_charge_non_increasing() {
         let params = b1();
-        let segments: Vec<Segment> = std::iter::repeat(vec![
-            Segment::new(0.25, 1.0).unwrap(),
-            Segment::idle(1.0).unwrap(),
-        ])
-        .flatten()
-        .take(30)
-        .collect();
+        let segments: Vec<Segment> =
+            std::iter::repeat(vec![Segment::new(0.25, 1.0).unwrap(), Segment::idle(1.0).unwrap()])
+                .flatten()
+                .take(30)
+                .collect();
         let trace = trace_segments(&params, segments, 0.1).unwrap();
         for pair in trace.points.windows(2) {
             assert!(pair[1].time > pair[0].time);
@@ -184,17 +171,10 @@ mod tests {
     #[test]
     fn available_charge_recovers_during_idle() {
         let params = b1();
-        let segments = vec![
-            Segment::new(0.5, 1.0).unwrap(),
-            Segment::idle(2.0).unwrap(),
-        ];
+        let segments = vec![Segment::new(0.5, 1.0).unwrap(), Segment::idle(2.0).unwrap()];
         let trace = trace_segments(&params, segments, 0.1).unwrap();
         // Find the sample at the end of the job and the last sample.
-        let at_job_end = trace
-            .points
-            .iter()
-            .find(|p| (p.time - 1.0).abs() < 1e-9)
-            .unwrap();
+        let at_job_end = trace.points.iter().find(|p| (p.time - 1.0).abs() < 1e-9).unwrap();
         let last = trace.points.last().unwrap();
         assert!(last.available_charge > at_job_end.available_charge);
         assert!((last.total_charge - at_job_end.total_charge).abs() < 1e-12);

@@ -1,106 +1,142 @@
-//! Property-based tests of the continuous KiBaM invariants.
+//! Property-style tests of the continuous KiBaM invariants.
+//!
+//! The build environment is offline, so instead of `proptest` the invariants
+//! are checked over a deterministic pseudo-random sample of the same input
+//! space (a SplitMix64 stream with a fixed seed). Each property is exercised
+//! on a few hundred cases, which covers the parameter ranges the original
+//! property-based suite drew from.
 
 use kibam::analytic::{evolve, time_to_empty};
 use kibam::lifetime::{lifetime_for_segments, Segment};
 use kibam::{BatteryParams, TransformedState};
-use proptest::prelude::*;
+use workload::random::SplitMix64;
 
-fn params_strategy() -> impl Strategy<Value = BatteryParams> {
-    (0.5f64..50.0, 0.05f64..0.95, 0.01f64..2.0)
-        .prop_map(|(cap, c, k)| BatteryParams::new(cap, c, k).expect("valid params"))
+/// Deterministic sample stream over the test input space (the `workload`
+/// dev-dependency provides the shared SplitMix64 implementation).
+struct Cases {
+    rng: SplitMix64,
 }
 
-proptest! {
-    /// Total charge is conserved: whatever is drawn plus whatever remains
-    /// equals the initial charge.
-    #[test]
-    fn charge_conservation(
-        params in params_strategy(),
-        current in 0.0f64..2.0,
-        duration in 0.0f64..30.0,
-    ) {
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self { rng: SplitMix64::new(seed) }
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.next_range(lo, hi)
+    }
+
+    fn params(&mut self) -> BatteryParams {
+        let capacity = self.range(0.5, 50.0);
+        let c = self.range(0.05, 0.95);
+        let k_prime = self.range(0.01, 2.0);
+        BatteryParams::new(capacity, c, k_prime).expect("sampled params are valid")
+    }
+}
+
+const CASES: usize = 300;
+
+/// Total charge is conserved: whatever is drawn plus whatever remains equals
+/// the initial charge.
+#[test]
+fn charge_conservation() {
+    let mut cases = Cases::new(1);
+    for _ in 0..CASES {
+        let params = cases.params();
+        let current = cases.range(0.0, 2.0);
+        let duration = cases.range(0.0, 30.0);
         let full = TransformedState::full(&params);
         let after = evolve(&params, full, current, duration).unwrap();
         let drawn = current * duration;
-        prop_assert!((full.gamma - after.gamma - drawn).abs() < 1e-9);
+        assert!(
+            (full.gamma - after.gamma - drawn).abs() < 1e-9,
+            "charge not conserved for {params:?}, I={current}, t={duration}"
+        );
     }
+}
 
-    /// The height difference never becomes negative when starting from a
-    /// non-negative one, and relaxes towards zero under zero load.
-    #[test]
-    fn height_difference_nonnegative_and_relaxing(
-        params in params_strategy(),
-        current in 0.0f64..2.0,
-        duration in 0.0f64..30.0,
-        rest in 0.0f64..60.0,
-    ) {
+/// The height difference never becomes negative when starting from a
+/// non-negative one, and relaxes towards zero under zero load.
+#[test]
+fn height_difference_nonnegative_and_relaxing() {
+    let mut cases = Cases::new(2);
+    for _ in 0..CASES {
+        let params = cases.params();
+        let current = cases.range(0.0, 2.0);
+        let duration = cases.range(0.0, 30.0);
+        let rest = cases.range(0.0, 60.0);
         let full = TransformedState::full(&params);
         let loaded = evolve(&params, full, current, duration).unwrap();
-        prop_assert!(loaded.delta >= -1e-12);
+        assert!(loaded.delta >= -1e-12);
         let rested = evolve(&params, loaded, 0.0, rest).unwrap();
-        prop_assert!(rested.delta <= loaded.delta + 1e-12);
-        prop_assert!(rested.delta >= -1e-12);
+        assert!(rested.delta <= loaded.delta + 1e-12);
+        assert!(rested.delta >= -1e-12);
     }
+}
 
-    /// Coordinate transformation round-trips.
-    #[test]
-    fn coordinate_round_trip(
-        params in params_strategy(),
-        available in 0.0f64..10.0,
-        bound in 0.0f64..10.0,
-    ) {
+/// Coordinate transformation round-trips.
+#[test]
+fn coordinate_round_trip() {
+    let mut cases = Cases::new(3);
+    for _ in 0..CASES {
+        let params = cases.params();
+        let available = cases.range(0.0, 10.0);
+        let bound = cases.range(0.0, 10.0);
         let state = kibam::TwoWellState::new(available, bound).unwrap();
         let back = state.to_transformed(&params).to_two_well(&params);
-        prop_assert!((back.available() - available).abs() < 1e-8);
-        prop_assert!((back.bound() - bound).abs() < 1e-8);
+        assert!((back.available() - available).abs() < 1e-8);
+        assert!((back.bound() - bound).abs() < 1e-8);
     }
+}
 
-    /// Lifetime is antitone in the discharge current: a strictly larger
-    /// constant current can never yield a longer lifetime.
-    #[test]
-    fn lifetime_antitone_in_current(
-        params in params_strategy(),
-        base in 0.05f64..1.0,
-        extra in 0.01f64..1.0,
-    ) {
+/// Lifetime is antitone in the discharge current: a strictly larger constant
+/// current can never yield a longer lifetime.
+#[test]
+fn lifetime_antitone_in_current() {
+    let mut cases = Cases::new(4);
+    for _ in 0..CASES {
+        let params = cases.params();
+        let base = cases.range(0.05, 1.0);
+        let extra = cases.range(0.01, 1.0);
         let full = TransformedState::full(&params);
         let low = time_to_empty(&params, full, base).unwrap().unwrap();
         let high = time_to_empty(&params, full, base + extra).unwrap().unwrap();
-        prop_assert!(high <= low + 1e-9);
+        assert!(high <= low + 1e-9, "lifetime must shrink: {low} -> {high} for {params:?}");
     }
+}
 
-    /// The delivered charge never exceeds the capacity, and the lifetime
-    /// never exceeds the ideal-battery lifetime C / I.
-    #[test]
-    fn rate_capacity_bounds(
-        params in params_strategy(),
-        current in 0.05f64..2.0,
-    ) {
-        let lifetime = time_to_empty(&params, TransformedState::full(&params), current)
-            .unwrap()
-            .unwrap();
-        prop_assert!(current * lifetime <= params.capacity() + 1e-9);
-        prop_assert!(lifetime <= params.capacity() / current + 1e-9);
+/// The delivered charge never exceeds the capacity, and the lifetime never
+/// exceeds the ideal-battery lifetime C / I.
+#[test]
+fn rate_capacity_bounds() {
+    let mut cases = Cases::new(5);
+    for _ in 0..CASES {
+        let params = cases.params();
+        let current = cases.range(0.05, 2.0);
+        let lifetime =
+            time_to_empty(&params, TransformedState::full(&params), current).unwrap().unwrap();
+        assert!(current * lifetime <= params.capacity() + 1e-9);
+        assert!(lifetime <= params.capacity() / current + 1e-9);
     }
+}
 
-    /// Inserting an idle period into a load never shortens the lifetime by
-    /// more than the idle duration itself and never reduces the delivered
-    /// charge (the recovery effect).
-    #[test]
-    fn idle_period_never_reduces_delivered_charge(
-        params in params_strategy(),
-        current in 0.1f64..1.0,
-        idle in 0.1f64..5.0,
-    ) {
+/// Inserting an idle period into a load never reduces the delivered charge
+/// (the recovery effect).
+#[test]
+fn idle_period_never_reduces_delivered_charge() {
+    let mut cases = Cases::new(6);
+    // Fewer cases: each one iterates the segment solver many times.
+    for _ in 0..CASES / 4 {
+        let params = cases.params();
+        let current = cases.range(0.1, 1.0);
+        let idle = cases.range(0.1, 5.0);
         let job = Segment::new(current, 1.0).unwrap();
         let continuous = lifetime_for_segments(&params, std::iter::repeat(job)).unwrap();
         let idle_seg = Segment::idle(idle).unwrap();
-        let intermittent = lifetime_for_segments(
-            &params,
-            std::iter::repeat([job, idle_seg]).flatten(),
-        )
-        .unwrap();
-        prop_assert!(
+        let intermittent =
+            lifetime_for_segments(&params, std::iter::repeat([job, idle_seg]).flatten()).unwrap();
+        assert!(
             intermittent.delivered_charge >= continuous.delivered_charge - 1e-9,
             "recovery must not reduce the deliverable charge: {} vs {}",
             intermittent.delivered_charge,

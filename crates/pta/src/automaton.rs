@@ -266,12 +266,7 @@ impl Automaton {
     /// [`set_initial`](Automaton::set_initial) is called.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self {
-            name: name.into(),
-            locations: Vec::new(),
-            edges: Vec::new(),
-            initial: LocationId(0),
-        }
+        Self { name: name.into(), locations: Vec::new(), edges: Vec::new(), initial: LocationId(0) }
     }
 
     /// Adds a location and returns its identifier.

@@ -102,6 +102,10 @@ pub enum IntExpr {
     Mul(Box<IntExpr>, Box<IntExpr>),
 }
 
+// The `add`/`sub`/`mul` combinators intentionally mirror the operator names:
+// they build expression *trees* rather than computing values, so implementing
+// the `std::ops` traits (whose contracts imply evaluation) would mislead.
+#[allow(clippy::should_implement_trait)]
 impl IntExpr {
     /// An integer literal.
     #[must_use]
@@ -278,20 +282,13 @@ impl<'a> EvalContext<'a> {
     }
 
     fn clock(&self, clock: ClockId) -> Result<i64, PtaError> {
-        self.clocks
-            .get(clock.0)
-            .map(|&v| v as i64)
-            .ok_or(PtaError::UnknownClock { clock: clock.0 })
+        self.clocks.get(clock.0).map(|&v| v as i64).ok_or(PtaError::UnknownClock { clock: clock.0 })
     }
 
     fn array_element(&self, array: ArrayId, index: i64) -> Result<i64, PtaError> {
         let table = self.arrays.get(array.0).ok_or(PtaError::UnknownArray { array: array.0 })?;
         if index < 0 || index as usize >= table.len() {
-            return Err(PtaError::IndexOutOfBounds {
-                array: array.0,
-                index,
-                length: table.len(),
-            });
+            return Err(PtaError::IndexOutOfBounds { array: array.0, index, length: table.len() });
         }
         Ok(table[index as usize])
     }

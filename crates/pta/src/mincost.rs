@@ -117,11 +117,10 @@ mod tests {
         let mut network = Network::new();
         let x = network.add_clock("x");
         let mut automaton = Automaton::new("chooser");
-        let start = automaton.add_location(Location::new("start").with_cost_rate(IntExpr::constant(2)));
+        let start =
+            automaton.add_location(Location::new("start").with_cost_rate(IntExpr::constant(2)));
         let done = automaton.add_location(Location::new("done"));
-        automaton
-            .add_edge(Edge::new(start, done).with_cost(IntExpr::constant(10)))
-            .unwrap();
+        automaton.add_edge(Edge::new(start, done).with_cost(IntExpr::constant(10))).unwrap();
         automaton
             .add_edge(
                 Edge::new(start, done)
@@ -137,9 +136,8 @@ mod tests {
     #[test]
     fn picks_the_cheaper_of_two_strategies() {
         let (network, id, done) = chooser();
-        let result = min_cost_reachability(&network, |s| s.location(id) == done, 100_000)
-            .unwrap()
-            .unwrap();
+        let result =
+            min_cost_reachability(&network, |s| s.location(id) == done, 100_000).unwrap().unwrap();
         assert_eq!(result.cost, 7);
         // Three delays plus one action.
         assert_eq!(result.trace.delay_steps(), 3);
@@ -166,9 +164,8 @@ mod tests {
             )
             .unwrap();
         let id = network.add_automaton(automaton).unwrap();
-        let result = min_cost_reachability(&network, |s| s.location(id) == done, 100_000)
-            .unwrap()
-            .unwrap();
+        let result =
+            min_cost_reachability(&network, |s| s.location(id) == done, 100_000).unwrap().unwrap();
         assert_eq!(result.cost, 10);
         assert_eq!(result.trace.delay_steps(), 0);
     }
@@ -199,9 +196,8 @@ mod tests {
     fn goal_in_initial_state_costs_nothing() {
         let (network, id, _) = chooser();
         let start = crate::automaton::LocationId::from_index(0);
-        let result = min_cost_reachability(&network, |s| s.location(id) == start, 10)
-            .unwrap()
-            .unwrap();
+        let result =
+            min_cost_reachability(&network, |s| s.location(id) == start, 10).unwrap().unwrap();
         assert_eq!(result.cost, 0);
         assert!(result.trace.is_empty());
     }
@@ -230,12 +226,13 @@ mod tests {
             .unwrap();
         // Leave after 4 time steps.
         automaton
-            .add_edge(Edge::new(start, done).with_guard(BoolExpr::clock_ge(x, IntExpr::constant(4))))
+            .add_edge(
+                Edge::new(start, done).with_guard(BoolExpr::clock_ge(x, IntExpr::constant(4))),
+            )
             .unwrap();
         let id = network.add_automaton(automaton).unwrap();
-        let result = min_cost_reachability(&network, |s| s.location(id) == done, 100_000)
-            .unwrap()
-            .unwrap();
+        let result =
+            min_cost_reachability(&network, |s| s.location(id) == done, 100_000).unwrap().unwrap();
         // Optimal: drop the rate to 1 immediately, then wait 4 steps -> 4.
         assert_eq!(result.cost, 4);
     }

@@ -289,10 +289,7 @@ mod tests {
         let (mut sender, a) = two_location_automaton("sender");
         sender.add_edge(Edge::new(a, a).with_send(ch)).unwrap();
         network.add_automaton(sender).unwrap();
-        assert!(matches!(
-            network.validate(),
-            Err(PtaError::DanglingBinarySend { channel: 0 })
-        ));
+        assert!(matches!(network.validate(), Err(PtaError::DanglingBinarySend { channel: 0 })));
 
         // Adding a receiver fixes it.
         let (mut receiver, b) = two_location_automaton("receiver");

@@ -130,9 +130,7 @@ impl<'a> Semantics<'a> {
                         if committed_active && !self.involves_committed(state, &participants) {
                             continue;
                         }
-                        if let Some(next) =
-                            self.apply_action(state, &participants)?
-                        {
+                        if let Some(next) = self.apply_action(state, &participants)? {
                             result.push((
                                 TransitionLabel::Internal {
                                     automaton: automaton_id,
@@ -149,10 +147,8 @@ impl<'a> Semantics<'a> {
                                 for (recv_auto, recv_edge) in
                                     self.enabled_receivers(state, sync.channel, index)?
                                 {
-                                    let participants = vec![
-                                        (automaton_id, edge_index),
-                                        (recv_auto, recv_edge),
-                                    ];
+                                    let participants =
+                                        vec![(automaton_id, edge_index), (recv_auto, recv_edge)];
                                     if committed_active
                                         && !self.involves_committed(state, &participants)
                                     {
@@ -252,18 +248,11 @@ impl<'a> Semantics<'a> {
 
     fn any_committed(&self, state: &State) -> bool {
         self.network.automata().iter().enumerate().any(|(index, automaton)| {
-            automaton
-                .location(state.locations[index])
-                .map(|l| l.is_committed())
-                .unwrap_or(false)
+            automaton.location(state.locations[index]).map(|l| l.is_committed()).unwrap_or(false)
         })
     }
 
-    fn involves_committed(
-        &self,
-        state: &State,
-        participants: &[(AutomatonId, usize)],
-    ) -> bool {
+    fn involves_committed(&self, state: &State, participants: &[(AutomatonId, usize)]) -> bool {
         participants.iter().any(|(automaton, _)| {
             let index = automaton.index();
             self.network.automata()[index]
@@ -674,10 +663,11 @@ mod tests {
         let mut network = Network::new();
         let v = network.add_var("v", 0);
         let mut a = Automaton::new("a");
-        a.add_location(
-            Location::new("impossible")
-                .with_invariant(BoolExpr::cmp(v, CmpOp::Gt, IntExpr::constant(0))),
-        );
+        a.add_location(Location::new("impossible").with_invariant(BoolExpr::cmp(
+            v,
+            CmpOp::Gt,
+            IntExpr::constant(0),
+        )));
         network.add_automaton(a).unwrap();
         let semantics = Semantics::new(&network).unwrap();
         assert!(matches!(
@@ -693,9 +683,11 @@ mod tests {
         let mut a = Automaton::new("a");
         let l0 = a.add_location(Location::new("l0"));
         // Target location requires v == 0, but the edge sets v to 1.
-        let l1 = a.add_location(
-            Location::new("l1").with_invariant(BoolExpr::cmp(v, CmpOp::Eq, IntExpr::constant(0))),
-        );
+        let l1 = a.add_location(Location::new("l1").with_invariant(BoolExpr::cmp(
+            v,
+            CmpOp::Eq,
+            IntExpr::constant(0),
+        )));
         a.add_edge(Edge::new(l0, l1).with_update(v, IntExpr::constant(1))).unwrap();
         network.add_automaton(a).unwrap();
         let semantics = Semantics::new(&network).unwrap();

@@ -118,28 +118,17 @@ mod tests {
 
     #[test]
     fn builds_finite_and_cyclic_profiles() {
-        let finite = LoadProfileBuilder::new()
-            .job(0.25, 1.0)
-            .idle(2.0)
-            .build_finite()
-            .unwrap();
+        let finite = LoadProfileBuilder::new().job(0.25, 1.0).idle(2.0).build_finite().unwrap();
         assert_eq!(finite.pattern().len(), 2);
         assert!(!finite.is_cyclic());
 
-        let cyclic = LoadProfileBuilder::new()
-            .job(0.5, 1.0)
-            .idle(1.0)
-            .build_cyclic()
-            .unwrap();
+        let cyclic = LoadProfileBuilder::new().job(0.5, 1.0).idle(1.0).build_cyclic().unwrap();
         assert!(cyclic.is_cyclic());
     }
 
     #[test]
     fn first_error_is_reported() {
-        let result = LoadProfileBuilder::new()
-            .job(-1.0, 1.0)
-            .idle(-2.0)
-            .build_finite();
+        let result = LoadProfileBuilder::new().job(-1.0, 1.0).idle(-2.0).build_finite();
         assert!(matches!(result, Err(WorkloadError::InvalidCurrent { .. })));
     }
 
@@ -165,11 +154,8 @@ mod tests {
 
     #[test]
     fn repeat_pattern_of_zero_keeps_single_copy() {
-        let profile = LoadProfileBuilder::new()
-            .job(0.5, 1.0)
-            .repeat_pattern(0)
-            .build_finite()
-            .unwrap();
+        let profile =
+            LoadProfileBuilder::new().job(0.5, 1.0).repeat_pattern(0).build_finite().unwrap();
         assert_eq!(profile.pattern().len(), 1);
     }
 

@@ -36,9 +36,9 @@ pub const LONG_IDLE: f64 = 2.0;
 /// battery configuration used in the paper's experiments).
 pub const RANDOM_JOB_COUNT: usize = 400;
 /// Seed of the `ILs r1` load.
-pub const RANDOM_SEED_R1: u64 = 0xD51_2009_01;
+pub const RANDOM_SEED_R1: u64 = 0xD51_200_901;
 /// Seed of the `ILs r2` load.
-pub const RANDOM_SEED_R2: u64 = 0xD51_2009_02;
+pub const RANDOM_SEED_R2: u64 = 0xD51_200_902;
 
 /// One of the ten test loads of Section 5 of the paper.
 ///
@@ -217,15 +217,10 @@ fn intermittent(currents: &[f64], idle: f64) -> LoadProfile {
 }
 
 fn random_load(seed: u64) -> LoadProfile {
-    RandomLoadSpec::new(
-        vec![LOW_CURRENT, HIGH_CURRENT],
-        JOB_DURATION,
-        SHORT_IDLE,
-        RANDOM_JOB_COUNT,
-    )
-    .expect("the random-load specification constants are valid")
-    .generate(seed)
-    .expect("generation from a valid specification cannot fail")
+    RandomLoadSpec::new(vec![LOW_CURRENT, HIGH_CURRENT], JOB_DURATION, SHORT_IDLE, RANDOM_JOB_COUNT)
+        .expect("the random-load specification constants are valid")
+        .generate(seed)
+        .expect("generation from a valid specification cannot fail")
 }
 
 #[cfg(test)]

@@ -372,10 +372,7 @@ mod tests {
 
     #[test]
     fn cyclic_profile_rejects_all_idle_pattern() {
-        assert!(matches!(
-            LoadProfile::cyclic(vec![idle(), idle()]),
-            Err(WorkloadError::IdleCycle)
-        ));
+        assert!(matches!(LoadProfile::cyclic(vec![idle(), idle()]), Err(WorkloadError::IdleCycle)));
         assert!(LoadProfile::cyclic(vec![job(), idle()]).is_ok());
     }
 

@@ -8,9 +8,59 @@
 //! "realistic random loads" outlook of Section 7.
 
 use crate::{Epoch, LoadProfile, WorkloadError};
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// A small, self-contained deterministic generator (SplitMix64, Steele et
+/// al.). The build environment is offline, so the crate cannot depend on
+/// `rand`; SplitMix64 passes BigCrush, is trivially seedable and keeps the
+/// generated paper loads (`ILs r1` / `ILs r2`) stable across platforms.
+///
+/// The generator is public so that other crates in the workspace (e.g.
+/// property-style test suites) sample from the same stream implementation
+/// instead of duplicating it.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` via rejection sampling (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_index requires a positive bound");
+        let bound = bound as u64;
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return (raw % bound) as usize;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (53 bits of precision).
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
 
 /// Specification of a random intermittent load.
 ///
@@ -105,11 +155,10 @@ impl RandomLoadSpec {
     /// Propagates epoch-construction errors (which cannot occur for a
     /// specification accepted by [`RandomLoadSpec::new`]).
     pub fn generate(&self, seed: u64) -> Result<LoadProfile, WorkloadError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let index = Uniform::from(0..self.currents.len());
+        let mut rng = SplitMix64::new(seed);
         let mut epochs = Vec::with_capacity(self.job_count * 2);
         for _ in 0..self.job_count {
-            let current = self.currents[index.sample(&mut rng)];
+            let current = self.currents[rng.next_index(self.currents.len())];
             epochs.push(Epoch::job(current, self.job_duration)?);
             if self.idle_duration > 0.0 {
                 epochs.push(Epoch::idle(self.idle_duration)?);
@@ -164,12 +213,8 @@ mod tests {
     fn generated_jobs_use_both_levels_eventually() {
         let spec = RandomLoadSpec::new(vec![0.25, 0.5], 1.0, 1.0, 100).unwrap();
         let load = spec.generate(11).unwrap();
-        let currents: Vec<f64> = load
-            .pattern()
-            .iter()
-            .filter(|e| e.is_job())
-            .map(Epoch::current)
-            .collect();
+        let currents: Vec<f64> =
+            load.pattern().iter().filter(|e| e.is_job()).map(Epoch::current).collect();
         assert!(currents.contains(&0.25));
         assert!(currents.contains(&0.5));
     }

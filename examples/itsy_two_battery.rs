@@ -31,6 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row.best_of_two_minutes,
         row.optimal_minutes.unwrap_or(f64::NAN),
     );
-    println!("(the paper reports 12.82 / 16.30 / 16.91 minutes — an up to ~32 % gain over round robin)");
+    println!(
+        "(the paper reports 12.82 / 16.30 / 16.91 minutes — an up to ~32 % gain over round robin)"
+    );
     Ok(())
 }

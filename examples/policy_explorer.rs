@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scheduler = OptimalScheduler::new();
 
     println!("Random ILs-style loads on 2 x B1 (coarse grid), {seeds} seeds\n");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>10}", "seed", "round robin", "best-of-two", "optimal", "opt gain");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "seed", "round robin", "best-of-two", "optimal", "opt gain"
+    );
     let mut best_wins = 0usize;
     for seed in 0..seeds {
         let load = spec.generate(seed)?;

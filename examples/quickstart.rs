@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use battery_sched::policy::{BestAvailable, RoundRobin, Sequential, SchedulingPolicy};
+use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
 use battery_sched::system::{simulate_policy, SystemConfig};
 use dkibam::Discretization;
 use kibam::lifetime::{lifetime_for_segments, Segment};
@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let constant_load = std::iter::repeat(Segment::new(0.25, 1.0)?);
     let single = lifetime_for_segments(&b1, constant_load).expect("battery empties");
     println!("single B1 battery, continuous 250 mA: {:.2} min lifetime", single.lifetime);
-    println!("  charge delivered: {:.2} A·min, charge stranded: {:.2} A·min", single.delivered_charge, single.residual_charge);
+    println!(
+        "  charge delivered: {:.2} A·min, charge stranded: {:.2} A·min",
+        single.delivered_charge, single.residual_charge
+    );
 
     // 2. A custom intermittent load: 1-minute 500 mA bursts, 90 s of idle.
     let load = LoadProfileBuilder::new().job(0.5, 1.0).idle(1.5).build_cyclic()?;

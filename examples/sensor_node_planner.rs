@@ -12,7 +12,9 @@ use workload::builder::LoadProfileBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cell = BatteryParams::itsy_b1();
-    println!("Sensor node planner: 300 mA sensing burst of 30 s, varying sleep time and cell count\n");
+    println!(
+        "Sensor node planner: 300 mA sensing burst of 30 s, varying sleep time and cell count\n"
+    );
     println!("{:>10} {:>8} {:>14} {:>16}", "sleep (s)", "cells", "lifetime (min)", "bursts served");
 
     for sleep_seconds in [30.0_f64, 60.0, 120.0] {

@@ -1,0 +1,126 @@
+//! Golden-value tests pinning the paper's published numbers through the new
+//! `BatteryModel` trait path.
+//!
+//! Values come from the tables of *"Maximizing System Lifetime by Battery
+//! Scheduling"* (Jongerden et al., DSN 2009), as recorded in
+//! `workload::paper_loads`:
+//!
+//! * Table 3 — single B1 battery, analytical KiBaM (e.g. `CL 500`: 2.02 min,
+//!   `ILs 500`: 4.30 min);
+//! * Table 5 — 2 × B1 system (e.g. `ILs 500`: sequential 8.60, round robin
+//!   10.48, best-of-two 10.48);
+//! * the ~1–2 % agreement between the continuous and the discretized model
+//!   that Tables 3 and 4 report.
+
+use battery_sched::model::BatteryModel;
+use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
+use battery_sched::system::{simulate_policy_with, SystemConfig};
+use kibam::lifetime::lifetime_for_segments;
+use kibam::BatteryParams;
+use workload::paper_loads::TestLoad;
+
+fn lifetime_with<M: BatteryModel>(
+    config: &SystemConfig,
+    load: TestLoad,
+    policy: &mut dyn SchedulingPolicy,
+    model: &mut M,
+) -> f64 {
+    let discretized = config.discretize(&load.profile()).unwrap();
+    simulate_policy_with(config, &discretized, policy, model)
+        .unwrap()
+        .lifetime_minutes()
+        .expect("paper loads exhaust the batteries")
+}
+
+/// Table 3, analytical column: CL 500 on B1 gives 2.02 min (and the other
+/// deterministic loads match their published values to 0.02 min).
+#[test]
+fn table3_analytic_golden_values() {
+    let b1 = BatteryParams::itsy_b1();
+    for (load, paper) in [
+        (TestLoad::Cl500, 2.02),
+        (TestLoad::Cl250, 4.53),
+        (TestLoad::Ils500, 4.30),
+        (TestLoad::Ill250, 21.86),
+    ] {
+        let lifetime = lifetime_for_segments(&b1, load.profile().segments()).unwrap().lifetime;
+        assert!(
+            (lifetime - paper).abs() < 0.02,
+            "{load}: analytic {lifetime:.3} vs paper {paper:.3}"
+        );
+        assert!((load.paper_lifetime_b1() - paper).abs() < 1e-9);
+    }
+}
+
+/// Table 5, ILs 500 row through the discretized trait backend:
+/// sequential 8.60, round robin 10.48, best-of-two 10.48.
+#[test]
+fn table5_ils500_golden_values_discretized_backend() {
+    let config = SystemConfig::paper_two_b1();
+    let mut model = config.discretized_model();
+    let seq = lifetime_with(&config, TestLoad::Ils500, &mut Sequential::new(), &mut model);
+    let rr = lifetime_with(&config, TestLoad::Ils500, &mut RoundRobin::new(), &mut model);
+    let best = lifetime_with(&config, TestLoad::Ils500, &mut BestAvailable::new(), &mut model);
+    assert!((seq - 8.60).abs() < 0.15, "sequential {seq:.3} vs paper 8.60");
+    assert!((rr - 10.48).abs() < 0.15, "round robin {rr:.3} vs paper 10.48");
+    assert!((best - 10.48).abs() < 0.15, "best-of-two {best:.3} vs paper 10.48");
+    assert!((rr - best).abs() < 1e-9, "round robin and best-of-two coincide on ILs 500");
+}
+
+/// Every non-random Table 5 row reproduces through the trait path within a
+/// few percent of the published values.
+#[test]
+fn table5_all_deterministic_rows_through_trait_path() {
+    let config = SystemConfig::paper_two_b1();
+    let mut model = config.discretized_model();
+    for load in TestLoad::all() {
+        if load.is_random() {
+            continue;
+        }
+        let (paper_seq, paper_rr, paper_best, _) = load.paper_table5();
+        for (paper, policy) in [
+            (paper_seq, &mut Sequential::new() as &mut dyn SchedulingPolicy),
+            (paper_rr, &mut RoundRobin::new()),
+            (paper_best, &mut BestAvailable::new()),
+        ] {
+            let ours = lifetime_with(&config, load, policy, &mut model);
+            let relative = (ours - paper).abs() / paper;
+            assert!(
+                relative < 0.04,
+                "{load} {}: ours {ours:.2} vs paper {paper:.2}",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Cross-backend agreement: the continuous and the discretized backend agree
+/// on the system lifetime within the ~2 % tolerance the paper reports for
+/// the single-battery validation (Tables 3 and 4), for every non-random
+/// load and every deterministic policy.
+#[test]
+fn continuous_and_discretized_backends_agree() {
+    let config = SystemConfig::paper_two_b1();
+    let mut discrete = config.discretized_model();
+    let mut continuous = config.continuous_model();
+    for load in TestLoad::all() {
+        if load.is_random() {
+            continue;
+        }
+        let policies: [fn() -> Box<dyn SchedulingPolicy>; 3] = [
+            || Box::new(Sequential::new()),
+            || Box::new(RoundRobin::new()),
+            || Box::new(BestAvailable::new()),
+        ];
+        for policy in policies {
+            let d = lifetime_with(&config, load, policy().as_mut(), &mut discrete);
+            let c = lifetime_with(&config, load, policy().as_mut(), &mut continuous);
+            let relative = (d - c).abs() / c;
+            assert!(
+                relative < 0.03,
+                "{load} {}: discretized {d:.3} vs continuous {c:.3} ({relative:.4} rel)",
+                policy().name()
+            );
+        }
+    }
+}

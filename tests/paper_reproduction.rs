@@ -2,7 +2,7 @@
 //! results: Tables 3–5 and the qualitative claims of Section 6.
 
 use battery_sched::optimal::OptimalScheduler;
-use battery_sched::policy::{BestAvailable, RoundRobin, Sequential, SchedulingPolicy};
+use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
 use battery_sched::report::{table5_row, validation_row};
 use battery_sched::system::{simulate_policy, SystemConfig};
 use dkibam::Discretization;
@@ -82,10 +82,7 @@ fn section6_policy_ordering_claims_hold() {
     let config = SystemConfig::paper_two_b1();
     for load in TestLoad::all() {
         let run = |policy: &mut dyn SchedulingPolicy| {
-            simulate_policy(&config, &load.profile(), policy)
-                .unwrap()
-                .lifetime_minutes()
-                .unwrap()
+            simulate_policy(&config, &load.profile(), policy).unwrap().lifetime_minutes().unwrap()
         };
         let seq = run(&mut Sequential::new());
         let rr = run(&mut RoundRobin::new());
@@ -152,9 +149,8 @@ fn figure6_traces_show_recovery_and_optimal_gain() {
         .unwrap()
         .with_sampling(2);
     let load = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
-    let best =
-        battery_sched::system::simulate_policy_on(&config, &load, &mut BestAvailable::new())
-            .unwrap();
+    let best = battery_sched::system::simulate_policy_on(&config, &load, &mut BestAvailable::new())
+        .unwrap();
     // Recovery: some battery's available charge increases between samples.
     let mut recovery_seen = false;
     for pair in best.trace().points.windows(2) {
