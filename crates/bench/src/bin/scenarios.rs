@@ -1,25 +1,119 @@
-//! Runs the paper's Table 5 experiment as a scenario grid through the
-//! parallel scenario engine and writes the machine-readable result set to
-//! `BENCH_scenarios.json` (override the path with the first command-line
-//! argument). Future sessions diff this file to track the performance and
-//! accuracy trajectory.
+//! Scenario-grid benchmarks through the parallel scenario engine.
 //!
-//! The grid is 1 battery type (B1) × 1 count (2) × 1 discretization (paper)
-//! × 10 loads × 3 policies × 2 backends = 60 scenarios.
+//! Three grids, all machine-readable so future sessions can diff the
+//! performance and accuracy trajectory:
+//!
+//! * **Paper grid** (always): the Table 5 experiment — 1 battery type (B1)
+//!   × 1 count (2) × 1 discretization (paper) × 10 loads × 3 policies ×
+//!   2 backends = 60 scenarios — written to `BENCH_scenarios.json`.
+//! * **Optimal grid** (`--optimal`): optimal-vs-policy on the coarse grid,
+//!   with branch-and-bound node counts, written to `BENCH_optimal.json`;
+//!   also prints the seed (pruning-disabled) search next to the memoized
+//!   one. `--max-nodes N` turns the node counts into a CI gate.
+//! * **Random grid** (`--random-cells N`): a seed sweep over
+//!   `RandomLoadSpec` loads, **streamed** to `BENCH_random_grid.json` while
+//!   the grid runs — a 10⁴–10⁵-cell sweep never materializes its results in
+//!   memory.
+//!
+//! ```text
+//! scenarios [OUT] [--threads N]
+//!           [--optimal] [--optimal-out PATH] [--max-nodes N]
+//!           [--random-cells N] [--random-jobs N] [--random-out PATH]
+//!           [--chunk N]   # work-chunk size of the streamed random grid
+//! ```
 
-use engine::{results_to_json, run_grid, ScenarioSpec};
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::system::SystemConfig;
+use dkibam::Discretization;
+use engine::{
+    results_to_json, run_grid_streaming, run_grid_with_threads, BackendKind, BatterySpec, DiscSpec,
+    LoadSpec, PolicyKind, ScenarioSpec,
+};
+use kibam::BatteryParams;
 use std::time::Instant;
+use workload::paper_loads::TestLoad;
+
+struct Options {
+    out: String,
+    threads: usize,
+    chunk: Option<usize>,
+    optimal: bool,
+    optimal_out: String,
+    max_nodes: Option<u64>,
+    random_cells: Option<usize>,
+    random_jobs: usize,
+    random_out: String,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        out: "BENCH_scenarios.json".to_owned(),
+        threads: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        chunk: None,
+        optimal: false,
+        optimal_out: "BENCH_optimal.json".to_owned(),
+        max_nodes: None,
+        random_cells: None,
+        random_jobs: 50,
+        random_out: "BENCH_random_grid.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--threads" => options.threads = parse(&value("--threads")),
+            "--chunk" => options.chunk = Some(parse(&value("--chunk"))),
+            "--optimal" => options.optimal = true,
+            "--optimal-out" => options.optimal_out = value("--optimal-out"),
+            "--max-nodes" => options.max_nodes = Some(parse(&value("--max-nodes"))),
+            "--random-cells" => options.random_cells = Some(parse(&value("--random-cells"))),
+            "--random-jobs" => options.random_jobs = parse(&value("--random-jobs")),
+            "--random-out" => options.random_out = value("--random-out"),
+            other if !other.starts_with("--") => options.out = other.to_owned(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+fn parse<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse '{text}'");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scenarios.json".to_owned());
+    let options = parse_options();
+    run_paper_grid(&options);
+    if options.optimal {
+        run_optimal_grid(&options);
+        print_seed_vs_memoized();
+    }
+    if let Some(cells) = options.random_cells {
+        run_random_grid(&options, cells);
+    }
+}
+
+/// The Table 5 grid of the seed harness: collected (it is small), printed
+/// as a table and archived as `BENCH_scenarios.json`.
+fn run_paper_grid(options: &Options) {
     let spec = ScenarioSpec::paper_table5();
-    println!("scenario grid: {} scenarios", spec.scenario_count());
+    println!("paper grid: {} scenarios", spec.scenario_count());
 
     let start = Instant::now();
-    let results = match run_grid(&spec) {
+    let results = match run_grid_with_threads(&spec, options.threads) {
         Ok(results) => results,
         Err(error) => {
-            eprintln!("scenario grid failed: {error}");
+            eprintln!("paper grid failed: {error}");
             std::process::exit(1);
         }
     };
@@ -46,9 +140,171 @@ fn main() {
     }
 
     let json = results_to_json(&spec, &results).expect("scenario results serialize");
-    if let Err(error) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {error}");
+    if let Err(error) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {error}", options.out);
         std::process::exit(1);
     }
-    println!("\nwrote {} bytes to {out_path}", json.len());
+    println!("wrote {} bytes to {}\n", json.len(), options.out);
+}
+
+/// Optimal-vs-policy on the coarse grid, with node counts; the node ceiling
+/// (`--max-nodes`) makes this the CI regression gate for the search.
+fn run_optimal_grid(options: &Options) {
+    let spec = ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        discretizations: vec![DiscSpec::coarse()],
+        loads: vec![
+            LoadSpec::Paper(TestLoad::Cl500),
+            LoadSpec::Paper(TestLoad::Ils500),
+            LoadSpec::Paper(TestLoad::IlsAlt),
+            LoadSpec::Paper(TestLoad::Ils250),
+        ],
+        policies: vec![
+            PolicyKind::Sequential,
+            PolicyKind::RoundRobin,
+            PolicyKind::BestOfTwo,
+            PolicyKind::optimal(),
+        ],
+        backends: vec![BackendKind::Discretized],
+    };
+    println!("optimal grid (coarse): {} scenarios", spec.scenario_count());
+
+    let start = Instant::now();
+    let results = match run_grid_with_threads(&spec, options.threads) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("optimal grid failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("ran in {:.2?}", start.elapsed());
+
+    println!("{:<32} {:>10} {:>12} {:>10} {:>10}", "scenario", "lifetime", "nodes", "memo", "dom");
+    let mut worst_nodes = 0u64;
+    for result in &results {
+        let (nodes, memo, dom) =
+            result.search.map_or((String::new(), String::new(), String::new()), |s| {
+                worst_nodes = worst_nodes.max(s.nodes_explored);
+                (
+                    s.nodes_explored.to_string(),
+                    s.memo_hits.to_string(),
+                    s.dominance_prunes.to_string(),
+                )
+            });
+        println!(
+            "{:<32} {:>10} {:>12} {:>10} {:>10}",
+            result.scenario.label(),
+            result
+                .lifetime_minutes
+                .map(|m| format!("{m:.2} min"))
+                .unwrap_or_else(|| "-".to_owned()),
+            nodes,
+            memo,
+            dom,
+        );
+    }
+
+    let json = results_to_json(&spec, &results).expect("optimal results serialize");
+    if let Err(error) = std::fs::write(&options.optimal_out, &json) {
+        eprintln!("cannot write {}: {error}", options.optimal_out);
+        std::process::exit(1);
+    }
+    println!("wrote {} bytes to {}\n", json.len(), options.optimal_out);
+
+    if let Some(ceiling) = options.max_nodes {
+        if worst_nodes > ceiling {
+            eprintln!(
+                "node-count regression: worst optimal search explored {worst_nodes} nodes, \
+                 ceiling is {ceiling}"
+            );
+            std::process::exit(2);
+        }
+        println!("node gate ok: worst search {worst_nodes} <= ceiling {ceiling}\n");
+    }
+}
+
+/// Prints the seed search (pruning disabled — PR 1 behaviour) next to the
+/// memoized search so the perf trajectory is visible in the bench log.
+fn print_seed_vs_memoized() {
+    println!("seed search vs memoized search (coarse grid, 2 x B1):");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "load", "seed nodes", "seed wall", "memo nodes", "memo wall", "ratio"
+    );
+    let config = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2).unwrap();
+    for load in [TestLoad::IlsAlt, TestLoad::Ils250] {
+        let profile = load.profile();
+        let discretized = config.discretize(&profile).unwrap();
+        let seed_start = Instant::now();
+        let seed = OptimalScheduler::reference().find_optimal_on(&config, &discretized).unwrap();
+        let seed_wall = seed_start.elapsed();
+        let memo_start = Instant::now();
+        let memo = OptimalScheduler::new().find_optimal_on(&config, &discretized).unwrap();
+        let memo_wall = memo_start.elapsed();
+        assert_eq!(seed.lifetime_steps, memo.lifetime_steps, "pruning must preserve the optimum");
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = seed.nodes_explored as f64 / memo.nodes_explored as f64;
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12} {:>6.1}x",
+            load.name(),
+            seed.nodes_explored,
+            format!("{seed_wall:.2?}"),
+            memo.nodes_explored,
+            format!("{memo_wall:.2?}"),
+            ratio,
+        );
+    }
+    println!(
+        "(ILs alt on two batteries is already near-minimal after symmetry pruning; the deep\n\
+         ILs 250 search is where the transposition table and dominance pruning pay off)\n"
+    );
+}
+
+/// A large random-load seed sweep, streamed to disk while it runs.
+fn run_random_grid(options: &Options, cells: usize) {
+    let policies = vec![PolicyKind::Sequential, PolicyKind::RoundRobin, PolicyKind::BestOfTwo];
+    let seeds = cells.div_ceil(policies.len()).max(1);
+    let spec = ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        discretizations: vec![DiscSpec::paper()],
+        loads: (0..seeds as u64)
+            .map(|seed| LoadSpec::random_paper_levels(seed, options.random_jobs))
+            .collect(),
+        policies,
+        backends: vec![BackendKind::Discretized],
+    };
+    println!(
+        "random grid: {} scenarios ({} seeds x {} policies, {} jobs each), streaming to {}",
+        spec.scenario_count(),
+        seeds,
+        spec.policies.len(),
+        options.random_jobs,
+        options.random_out,
+    );
+
+    let file = match std::fs::File::create(&options.random_out) {
+        Ok(file) => std::io::BufWriter::new(file),
+        Err(error) => {
+            eprintln!("cannot create {}: {error}", options.random_out);
+            std::process::exit(1);
+        }
+    };
+    let start = Instant::now();
+    match run_grid_streaming(&spec, options.threads, options.chunk, file) {
+        Ok(summary) => {
+            let wall = start.elapsed();
+            #[allow(clippy::cast_precision_loss)]
+            let per_cell = wall.as_secs_f64() * 1e6 / summary.written.max(1) as f64;
+            println!(
+                "streamed {} results in {:.2?} ({per_cell:.0} us/cell, {} threads)",
+                summary.written, wall, options.threads
+            );
+        }
+        Err(error) => {
+            eprintln!("random grid failed: {error}");
+            std::process::exit(1);
+        }
+    }
 }

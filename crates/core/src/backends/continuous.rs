@@ -92,8 +92,17 @@ impl BatteryModel for ContinuousKibam {
         self.cells.clone()
     }
 
+    fn save_state_into(&self, out: &mut Vec<ContinuousCell>) {
+        out.clear();
+        out.extend_from_slice(&self.cells);
+    }
+
     fn restore_state(&mut self, state: &Vec<ContinuousCell>) {
         self.cells.clone_from(state);
+    }
+
+    fn any_available(&self) -> bool {
+        (0..self.cells.len()).any(|i| !self.is_empty(i))
     }
 
     fn is_empty(&self, index: usize) -> bool {

@@ -1,11 +1,11 @@
 //! The discretized-KiBaM backend: a thin [`BatteryModel`] wrapper around
 //! [`dkibam::multi::MultiBatteryState`].
 
-use crate::model::{BatteryModel, ModelAdvance};
+use crate::model::{BatteryModel, ModelAdvance, StateKey};
 use crate::schedule::BatteryCharge;
 use crate::SchedError;
 use dkibam::multi::MultiBatteryState;
-use dkibam::{Discretization, RecoveryTable};
+use dkibam::{DiscreteBattery, Discretization, RecoveryTable};
 use kibam::BatteryParams;
 
 /// The discretized KiBaM of Section 2.3 as a [`BatteryModel`] backend.
@@ -73,6 +73,10 @@ impl BatteryModel for DiscretizedKibam {
         self.state.clone()
     }
 
+    fn save_state_into(&self, out: &mut MultiBatteryState) {
+        out.copy_from(&self.state);
+    }
+
     fn restore_state(&mut self, state: &MultiBatteryState) {
         self.state.copy_from(state);
     }
@@ -83,6 +87,28 @@ impl BatteryModel for DiscretizedKibam {
 
     fn available(&self) -> Vec<usize> {
         self.state.available(&self.params)
+    }
+
+    fn available_into(&self, out: &mut Vec<usize>) {
+        self.state.available_into(&self.params, out);
+    }
+
+    fn any_available(&self) -> bool {
+        self.state.any_available(&self.params)
+    }
+
+    fn memo_key(&self) -> Option<StateKey> {
+        StateKey::from_words(self.state.batteries().iter().map(DiscreteBattery::state_word))
+    }
+
+    fn key_dominates(&self, a: &StateKey, b: &StateKey) -> bool {
+        // Both keys are sorted ascending by state word; matching the i-th
+        // battery of one state against the i-th of the other is a valid
+        // witness schedule mapping for identical battery types (any perfect
+        // matching would do — the sorted pairing is the cheap one, and this
+        // runs on the search's per-node hot path).
+        a.len() == b.len()
+            && a.words().iter().zip(b.words()).all(|(&x, &y)| DiscreteBattery::word_dominates(x, y))
     }
 
     fn charge(&self, index: usize) -> BatteryCharge {
@@ -147,6 +173,29 @@ mod tests {
         assert_eq!(model.state().total_charge_units(), 1050);
         assert_eq!(model.backend_name(), "discretized");
         assert!((model.usable_charge() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_dominance_is_permutation_invariant() {
+        let params = BatteryParams::itsy_b1();
+        let disc = Discretization::paper_default();
+        let mut model = DiscretizedKibam::new(&params, &disc, 2);
+        let fresh = model.memo_key().unwrap();
+        let initial = model.save_state();
+        model.advance_job(0, 100, 2, 1).unwrap();
+        let drained_0 = model.memo_key().unwrap();
+        model.restore_state(&initial);
+        model.advance_job(1, 100, 2, 1).unwrap();
+        let drained_1 = model.memo_key().unwrap();
+
+        // A fresh system dominates a drained one, never the reverse.
+        assert!(model.key_dominates(&fresh, &drained_0));
+        assert!(!model.key_dominates(&drained_0, &fresh));
+        // Permuted drains dominate each other (identical canonical keys).
+        assert!(model.key_dominates(&drained_0, &drained_1));
+        assert!(model.key_dominates(&drained_1, &drained_0));
+        // Reflexive.
+        assert!(model.key_dominates(&drained_0, &drained_0));
     }
 
     #[test]

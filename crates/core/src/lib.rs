@@ -69,4 +69,4 @@ pub mod system;
 pub mod ta_model;
 
 pub use error::SchedError;
-pub use model::{BatteryModel, ModelAdvance};
+pub use model::{BatteryModel, ModelAdvance, StateKey, MAX_KEY_BATTERIES};

@@ -39,6 +39,77 @@ pub struct ModelAdvance {
     pub completed: bool,
 }
 
+/// The largest battery count a [`StateKey`] can canonicalize inline.
+///
+/// Keys are fixed-size so transposition tables never allocate per node;
+/// systems with more batteries simply opt out of memoization
+/// ([`BatteryModel::memo_key`] returns `None`).
+pub const MAX_KEY_BATTERIES: usize = 4;
+
+/// A fixed-size, allocation-free canonical key over a backend's dynamic
+/// state, used by search schedulers as a transposition-table key.
+///
+/// The backend packs each battery's dynamic state into one opaque `u128`
+/// word (equal words ⇔ equal states); the key sorts the words so that
+/// permutations of identical batteries — which have identical futures —
+/// collide in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateKey {
+    len: u8,
+    words: [u128; MAX_KEY_BATTERIES],
+}
+
+// Hash only the occupied words: unused slots are always zero, so equality
+// over the full array coincides with equality over `words[..len]`, and
+// skipping the padding halves the hashing cost for two-battery systems (the
+// common case) on the search's per-node hot path.
+impl std::hash::Hash for StateKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.len);
+        for word in self.words() {
+            state.write_u128(*word);
+        }
+    }
+}
+
+impl StateKey {
+    /// Builds a canonical key from per-battery state words, or `None` if
+    /// there are more than [`MAX_KEY_BATTERIES`] of them. Unused slots stay
+    /// zero, so the derived `Eq`/`Hash` over the whole array are exact.
+    pub fn from_words(words: impl IntoIterator<Item = u128>) -> Option<Self> {
+        let mut buf = [0u128; MAX_KEY_BATTERIES];
+        let mut len = 0usize;
+        for word in words {
+            if len == MAX_KEY_BATTERIES {
+                return None;
+            }
+            buf[len] = word;
+            len += 1;
+        }
+        buf[..len].sort_unstable();
+        #[allow(clippy::cast_possible_truncation)]
+        Some(Self { len: len as u8, words: buf })
+    }
+
+    /// The number of battery words in the key.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the key holds no battery words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The canonical (sorted) per-battery state words.
+    #[must_use]
+    pub fn words(&self) -> &[u128] {
+        &self.words[..usize::from(self.len)]
+    }
+}
+
 /// A multi-battery battery model that the scheduling engine can step.
 ///
 /// Implementations hold the joint state of all batteries in the system plus
@@ -73,6 +144,14 @@ pub trait BatteryModel {
     /// Captures the current dynamic state.
     fn save_state(&self) -> Self::State;
 
+    /// Captures the current dynamic state into `out`, reusing whatever `out`
+    /// already holds. Search schedulers snapshot at every node; backends
+    /// should override the default (which allocates a fresh state) with an
+    /// in-place copy.
+    fn save_state_into(&self, out: &mut Self::State) {
+        *out = self.save_state();
+    }
+
     /// Restores a previously captured dynamic state.
     fn restore_state(&mut self, state: &Self::State);
 
@@ -83,6 +162,40 @@ pub trait BatteryModel {
     /// Indices of the batteries that can still serve a job.
     fn available(&self) -> Vec<usize> {
         (0..self.battery_count()).filter(|&i| !self.is_empty(i)).collect()
+    }
+
+    /// Fills `out` with the indices of the batteries that can still serve a
+    /// job, reusing its allocation (the allocation-free counterpart of
+    /// [`available`](Self::available)).
+    fn available_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.battery_count()).filter(|&i| !self.is_empty(i)));
+    }
+
+    /// Whether at least one battery can still serve a job. Search hot paths
+    /// use this instead of materializing an index list.
+    fn any_available(&self) -> bool {
+        (0..self.battery_count()).any(|i| !self.is_empty(i))
+    }
+
+    /// A canonical, hashable key of the current dynamic state for
+    /// transposition tables, or `None` if the backend cannot key its state
+    /// exactly (e.g. continuous backends with floating-point state). The
+    /// default claims no key; discrete backends should provide one.
+    fn memo_key(&self) -> Option<StateKey> {
+        None
+    }
+
+    /// Whether the state behind canonical key `a` is component-wise at least
+    /// as good as the state behind key `b` — every schedule achievable from
+    /// `b` is achievable (or bettered) from `a`, so a search need not expand
+    /// `b` once `a` has been expanded from the same position. Both keys must
+    /// come from this backend's [`memo_key`](Self::memo_key). The
+    /// conservative default claims nothing, which disables dominance pruning
+    /// for the backend.
+    fn key_dominates(&self, a: &StateKey, b: &StateKey) -> bool {
+        let _ = (a, b);
+        false
     }
 
     /// Charge snapshot (total and available charge, A·min) of battery
@@ -163,6 +276,11 @@ mod tests {
         assert!((model.usable_charge() - full).abs() < 1e-9);
         assert!(model.states_identical(0, 1));
 
+        let mut buf = vec![9usize; 4];
+        model.available_into(&mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        assert!(model.any_available());
+
         // One minute of 500 mA on battery 0: one charge unit every 2 steps.
         let saved = model.save_state();
         let advance = model.advance_job(0, 100, 2, 1).unwrap();
@@ -178,10 +296,18 @@ mod tests {
         model.advance_idle(100);
         assert!(model.charge(0).available > after[0].available);
 
-        // Save/restore round-trips.
+        // Save/restore round-trips, including the in-place variant.
+        let mut scratch = model.save_state();
         model.restore_state(&saved);
         assert!((model.total_charge() - full).abs() < 1e-9);
         assert!(model.states_identical(0, 1));
+        model.advance_job(0, 100, 2, 1).unwrap();
+        model.save_state_into(&mut scratch);
+        let drained = model.total_charge();
+        model.restore_state(&saved);
+        model.restore_state(&scratch);
+        assert!((model.total_charge() - drained).abs() < 1e-9);
+        model.restore_state(&saved);
 
         // Reset returns to full no matter what happened before.
         model.advance_job(1, 200, 2, 1).unwrap();
@@ -207,5 +333,38 @@ mod tests {
         let (mut discrete, mut continuous) = backends();
         assert!(discrete.advance_job(7, 10, 2, 1).is_err());
         assert!(continuous.advance_job(7, 10, 2, 1).is_err());
+    }
+
+    #[test]
+    fn state_keys_canonicalize_battery_permutations() {
+        let key_a = StateKey::from_words([3u128, 1, 2]).unwrap();
+        let key_b = StateKey::from_words([1u128, 2, 3]).unwrap();
+        assert_eq!(key_a, key_b);
+        assert_eq!(key_a.len(), 3);
+        assert!(!key_a.is_empty());
+        assert_ne!(key_a, StateKey::from_words([1u128, 2, 4]).unwrap());
+        // Length is part of the key: [1, 0] and [1] differ.
+        assert_ne!(
+            StateKey::from_words([1u128, 0]).unwrap(),
+            StateKey::from_words([1u128]).unwrap()
+        );
+        // Too many batteries: no key, so callers skip memoization.
+        assert!(StateKey::from_words([0u128; MAX_KEY_BATTERIES + 1]).is_none());
+    }
+
+    #[test]
+    fn memo_keys_exist_only_for_the_discrete_backend() {
+        let (mut discrete, continuous) = backends();
+        assert!(continuous.memo_key().is_none());
+        let fresh = discrete.memo_key().unwrap();
+        // Draining battery 0 vs battery 1 yields the same canonical key.
+        let saved = discrete.save_state();
+        discrete.advance_job(0, 100, 2, 1).unwrap();
+        let key_0 = discrete.memo_key().unwrap();
+        discrete.restore_state(&saved);
+        discrete.advance_job(1, 100, 2, 1).unwrap();
+        let key_1 = discrete.memo_key().unwrap();
+        assert_eq!(key_0, key_1, "permuted states share a canonical key");
+        assert_ne!(fresh, key_0);
     }
 }

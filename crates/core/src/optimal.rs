@@ -11,27 +11,132 @@
 //!   point at which the load has requested more charge than all batteries
 //!   jointly hold),
 //! * **symmetry pruning** (batteries in identical states need only be tried
-//!   once), and
+//!   once),
+//! * a **transposition table** keyed by the canonicalized battery state and
+//!   the position in the load, pruning revisits that cannot improve on an
+//!   earlier visit ([`OptimalOutcome::memo_hits`]),
+//! * **dominance pruning**: a candidate whose batteries are component-wise
+//!   no better than an already-expanded state at the same load position —
+//!   an elder sibling or any transposition — is skipped; the table keeps
+//!   only the Pareto front of expanded states per position
+//!   ([`OptimalOutcome::dominance_prunes`]), and
 //! * **warm starting** from the best deterministic policy, so that only
 //!   branches that can still beat round-robin/best-of-two are explored.
+//!
+//! The search runs on an explicit stack (no recursion) and is
+//! allocation-free per node in steady state: snapshots live in a pool
+//! indexed by depth, candidate buffers are arenas that grow only to the
+//! search's high-water mark, and availability queries reuse one buffer.
+//!
+//! How much the table prunes depends on the load: deep searches with
+//! converging histories (e.g. `ILs 250`, random loads, three-battery
+//! systems) shrink 5–10×, while short alternating loads on two batteries
+//! (`ILs alt`) are already near-minimal after symmetry pruning — the seed's
+//! candidate deduplication removes permutation branches at the source, so
+//! there is nothing left to memoize. The bench harness
+//! (`cargo run --release -p bench --bin scenarios -- --optimal`) prints the
+//! per-load node counts of both searches.
 //!
 //! The search is generic over the [`BatteryModel`] backend: it runs against
 //! the discretized KiBaM (the paper's model, [`OptimalScheduler::find_optimal`])
 //! or any other backend ([`OptimalScheduler::find_optimal_with`]), using the
-//! backend's cheap save/restore state to branch. It returns the maximum
-//! achievable system lifetime for the given discretization together with the
-//! decision sequence that realises it (replayable through
-//! [`crate::policy::FixedSchedule`]).
+//! backend's cheap save/restore state to branch. Memoization and dominance
+//! pruning engage automatically on backends that support them (the
+//! discretized KiBaM does; the continuous backend falls back to the plain
+//! bounded search). It returns the maximum achievable system lifetime for
+//! the given discretization together with the decision sequence that
+//! realises it (replayable through [`crate::policy::FixedSchedule`]).
 
-use crate::model::BatteryModel;
+use crate::model::{BatteryModel, StateKey};
 use crate::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
 use crate::system::{simulate_policy_with, SystemConfig};
 use crate::SchedError;
 use dkibam::{DiscreteEpoch, DiscretizedLoad};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use workload::LoadProfile;
 
+/// A minimal Fx-style hasher (multiply–xor–rotate, as used by rustc). The
+/// transposition table hashes a fat key (up to four `u128` words plus the
+/// position) at every node; the default SipHash is a measurable fraction of
+/// the whole search there, and HashDoS resistance is irrelevant for a
+/// single-process search table. The build environment is offline, so this is
+/// written out instead of depending on `rustc-hash`.
+#[derive(Debug, Default, Clone, Copy)]
+struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.mix(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.mix(value);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, value: u128) {
+        #[allow(clippy::cast_possible_truncation)]
+        self.mix(value as u64);
+        #[allow(clippy::cast_possible_truncation)]
+        self.mix((value >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.mix(value as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
 /// Default node budget of the search (decision nodes, not states).
-const DEFAULT_BUDGET: usize = 20_000_000;
+pub const DEFAULT_BUDGET: usize = 20_000_000;
+
+/// The most Pareto-maximal expanded states retained per load position for
+/// dominance checks. The cap bounds both memory and the per-node scan cost;
+/// states beyond it are still explored, just not recorded as pruners.
+const MAX_STATES_PER_POSITION: usize = 16;
+
+/// The most entries the transposition table retains. Bounds the memory of
+/// deep searches (an entry is ~90 bytes); once full, new states are still
+/// explored but no longer recorded, so pruning degrades gracefully instead
+/// of exhausting memory.
+const MAX_MEMO_ENTRIES: usize = 1_000_000;
+
+/// The most `(StateKey, elapsed)` entries retained across *all* dominance
+/// fronts, analogous to [`MAX_MEMO_ENTRIES`]: fine-grained loads can visit
+/// millions of distinct positions, and without a global cap the per-position
+/// `Vec`s (and their map slots) would grow unboundedly. Once full, existing
+/// fronts still prune; new positions are no longer recorded.
+const MAX_FRONT_ENTRIES: usize = 500_000;
 
 /// The result of an optimal-schedule search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +147,16 @@ pub struct OptimalOutcome {
     pub decisions: Vec<usize>,
     /// The number of decision nodes explored by the search.
     pub nodes_explored: usize,
+    /// Nodes pruned by the transposition table: the same canonical battery
+    /// state was reached at the same load position with at least as much
+    /// lifetime already accumulated.
+    pub memo_hits: usize,
+    /// Nodes pruned because an already-expanded state at the same load
+    /// position (an elder sibling or a transposition) was component-wise at
+    /// least as good.
+    pub dominance_prunes: usize,
+    /// Nodes cut by the usable-charge upper bound against the incumbent.
+    pub bound_prunes: usize,
 }
 
 impl OptimalOutcome {
@@ -56,6 +171,8 @@ impl OptimalOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptimalScheduler {
     budget: usize,
+    memoize: bool,
+    dominance: bool,
 }
 
 impl Default for OptimalScheduler {
@@ -65,10 +182,11 @@ impl Default for OptimalScheduler {
 }
 
 impl OptimalScheduler {
-    /// Creates a scheduler with the default node budget.
+    /// Creates a scheduler with the default node budget and all prunings
+    /// (memoization + dominance) enabled.
     #[must_use]
     pub fn new() -> Self {
-        Self { budget: DEFAULT_BUDGET }
+        Self { budget: DEFAULT_BUDGET, memoize: true, dominance: true }
     }
 
     /// Creates a scheduler with an explicit node budget. The search fails
@@ -76,7 +194,39 @@ impl OptimalScheduler {
     /// returning a sub-optimal answer when the budget runs out.
     #[must_use]
     pub fn with_budget(budget: usize) -> Self {
-        Self { budget }
+        Self { budget, ..Self::new() }
+    }
+
+    /// A reference scheduler with memoization and dominance pruning
+    /// disabled: the plain bounded search (upper bound + symmetry + warm
+    /// start only). Equivalence tests and the bench harness compare the
+    /// pruned search against this one — both must return identical
+    /// lifetimes, the pruned one in (far) fewer nodes.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self { budget: DEFAULT_BUDGET, memoize: false, dominance: false }
+    }
+
+    /// Disables the transposition table (for ablation and equivalence
+    /// testing).
+    #[must_use]
+    pub fn without_memoization(mut self) -> Self {
+        self.memoize = false;
+        self
+    }
+
+    /// Disables sibling dominance pruning (for ablation and equivalence
+    /// testing).
+    #[must_use]
+    pub fn without_dominance(mut self) -> Self {
+        self.dominance = false;
+        self
+    }
+
+    /// The node budget of this scheduler.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
     }
 
     /// Finds the optimal schedule for a load profile under the discretized
@@ -142,25 +292,57 @@ impl OptimalScheduler {
         }
 
         model.reset();
-        let initial = model.save_state();
         let mut search = Search {
             model,
             epochs: load.epochs(),
             charge_unit: config.disc().charge_unit(),
             budget: self.budget,
+            memoize: self.memoize,
+            dominance: self.dominance,
             nodes: 0,
+            memo_hits: 0,
+            dominance_prunes: 0,
+            bound_prunes: 0,
             best_steps: incumbent_steps,
             best_decisions: incumbent_decisions,
             current_decisions: Vec::new(),
+            stack: Vec::new(),
+            pool: Vec::new(),
+            candidates: Vec::new(),
+            avail: Vec::new(),
+            seen: HashMap::default(),
+            fronts: HashMap::default(),
+            front_entries: 0,
         };
-        search.explore(&initial, 0, 0, 0)?;
+        search.explore()?;
 
         Ok(OptimalOutcome {
             lifetime_steps: search.best_steps,
             decisions: search.best_decisions,
             nodes_explored: search.nodes,
+            memo_hits: search.memo_hits,
+            dominance_prunes: search.dominance_prunes,
+            bound_prunes: search.bound_prunes,
         })
     }
+}
+
+/// One decision node on the explicit DFS stack. The frame at stack index
+/// `d` owns snapshot `pool[d]` (the state at its decision point) and the
+/// candidate range `cand_start..cand_end` of the shared candidate arena.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Index of the job epoch this decision schedules.
+    epoch_index: usize,
+    /// Steps already served into that epoch.
+    offset: u64,
+    /// Lifetime accumulated up to the decision point.
+    elapsed: u64,
+    /// Candidate range in the candidate arena.
+    cand_start: usize,
+    cand_end: usize,
+    /// Next candidate (absolute arena index) to expand.
+    next_candidate: usize,
 }
 
 struct Search<'a, M: BatteryModel> {
@@ -168,29 +350,95 @@ struct Search<'a, M: BatteryModel> {
     epochs: &'a [DiscreteEpoch],
     charge_unit: f64,
     budget: usize,
+    memoize: bool,
+    dominance: bool,
     nodes: usize,
+    memo_hits: usize,
+    dominance_prunes: usize,
+    bound_prunes: usize,
     best_steps: u64,
     best_decisions: Vec<usize>,
     current_decisions: Vec<usize>,
+    /// Explicit DFS stack; `stack[d]`'s branch snapshot is `pool[d]`.
+    stack: Vec<Frame>,
+    /// Snapshot pool indexed by depth; grows only to the maximum depth.
+    pool: Vec<M::State>,
+    /// Arena of candidate battery indices, ranges owned by frames.
+    candidates: Vec<usize>,
+    /// Reusable availability buffer.
+    avail: Vec<usize>,
+    /// Transposition table: the lifetime accumulated when a canonical state
+    /// was first expanded at a load position. Exact-equality revisits are
+    /// pruned in O(1).
+    seen: HashMap<(StateKey, usize, u64), u64, FxBuild>,
+    /// Per-position Pareto fronts of expanded states (bounded per position
+    /// and globally): a new state component-wise dominated by a recorded one
+    /// is pruned.
+    fronts: HashMap<(usize, u64), Vec<(StateKey, u64)>, FxBuild>,
+    /// Total entries across all fronts, enforcing [`MAX_FRONT_ENTRIES`].
+    front_entries: usize,
 }
 
 impl<M: BatteryModel> Search<'_, M> {
-    /// Depth-first exploration from the state captured in `snapshot`,
-    /// positioned at `offset` steps into epoch `epoch_index`, with `elapsed`
-    /// steps of lifetime already accumulated.
-    fn explore(
+    /// Runs the depth-first exploration from the freshly reset model.
+    fn explore(&mut self) -> Result<(), SchedError> {
+        if !self.enter_position(0, 0, 0)? {
+            return Ok(());
+        }
+        while let Some(top) = self.stack.last().copied() {
+            let depth = self.stack.len() - 1;
+            if top.next_candidate >= top.cand_end {
+                self.stack.pop();
+                self.candidates.truncate(top.cand_start);
+                if depth > 0 {
+                    self.current_decisions.pop();
+                }
+                continue;
+            }
+            let battery = self.candidates[top.next_candidate];
+            self.stack[depth].next_candidate += 1;
+
+            // Re-branch from the decision point and serve (a portion of) the
+            // job on the chosen battery.
+            let epoch = self.epochs[top.epoch_index];
+            self.model.restore_state(&self.pool[depth]);
+            let remaining = epoch.duration_steps() - top.offset;
+            let advance = self.model.advance_job(
+                battery,
+                remaining,
+                epoch.draw_interval_steps(),
+                epoch.units_per_draw(),
+            )?;
+            let (child_epoch, child_offset) = if advance.completed {
+                (top.epoch_index + 1, 0)
+            } else {
+                (top.epoch_index, top.offset + advance.steps_consumed)
+            };
+            let child_elapsed = top.elapsed + advance.steps_consumed;
+
+            self.current_decisions.push(battery);
+            if !self.enter_position(child_epoch, child_offset, child_elapsed)? {
+                self.current_decisions.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the model (which must hold the state for the given position)
+    /// deterministically to the next decision point and, unless the position
+    /// is a leaf or pruned, pushes a decision frame. Returns whether a frame
+    /// was pushed.
+    fn enter_position(
         &mut self,
-        snapshot: &M::State,
         mut epoch_index: usize,
         mut offset: u64,
         mut elapsed: u64,
-    ) -> Result<(), SchedError> {
-        self.model.restore_state(snapshot);
+    ) -> Result<bool, SchedError> {
         // The system lifetime ends the moment the last battery is observed
         // empty — trailing idle time of the load does not count.
-        if self.model.available().is_empty() {
+        if !self.model.any_available() {
             self.record_candidate(elapsed);
-            return Ok(());
+            return Ok(false);
         }
         // Advance deterministically (idle epochs) until the next decision.
         loop {
@@ -198,7 +446,7 @@ impl<M: BatteryModel> Search<'_, M> {
                 // The load ended before the batteries died; the schedule kept
                 // the system alive for the whole (truncated) load.
                 self.record_candidate(elapsed);
-                return Ok(());
+                return Ok(false);
             };
             if epoch.is_idle() {
                 let steps = epoch.duration_steps() - offset;
@@ -213,12 +461,9 @@ impl<M: BatteryModel> Search<'_, M> {
                 break;
             }
         }
-
-        let epoch = self.epochs[epoch_index];
-        let available = self.model.available();
-        if available.is_empty() {
+        if !self.model.any_available() {
             self.record_candidate(elapsed);
-            return Ok(());
+            return Ok(false);
         }
 
         self.nodes += 1;
@@ -229,59 +474,124 @@ impl<M: BatteryModel> Search<'_, M> {
         // Bound: even if every remaining unit of usable charge were
         // extractable, the load ahead limits how long the system can live.
         if elapsed + self.upper_bound(epoch_index, offset) <= self.best_steps {
-            return Ok(());
+            self.bound_prunes += 1;
+            return Ok(false);
+        }
+
+        // Transposition table + dominance pruning. An earlier visit of the
+        // same (or a component-wise at-least-as-good) canonical state at the
+        // same load position with at least as much accumulated lifetime has
+        // already explored — or soundly bound-pruned — every completion this
+        // node could reach. Time always advances with the load, so two
+        // visits of the same position in practice carry the same `elapsed`;
+        // the comparison is kept for safety.
+        if self.memoize || self.dominance {
+            if let Some(key) = self.model.memo_key() {
+                if self.memoize {
+                    let under_cap = self.seen.len() < MAX_MEMO_ENTRIES;
+                    match self.seen.entry((key, epoch_index, offset)) {
+                        std::collections::hash_map::Entry::Occupied(mut entry) => {
+                            if *entry.get() >= elapsed {
+                                self.memo_hits += 1;
+                                return Ok(false);
+                            }
+                            entry.insert(elapsed);
+                        }
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            if under_cap {
+                                entry.insert(elapsed);
+                            }
+                        }
+                    }
+                }
+                if self.dominance {
+                    // Keys that dominate earlier entries evict them
+                    // (dominance is transitive), so each front holds only
+                    // Pareto-maximal expanded states, capped per position to
+                    // bound the scan and globally to bound memory (beyond
+                    // the global cap, existing fronts still prune but new
+                    // positions are not recorded).
+                    let front = if self.front_entries < MAX_FRONT_ENTRIES {
+                        Some(self.fronts.entry((epoch_index, offset)).or_default())
+                    } else {
+                        self.fronts.get_mut(&(epoch_index, offset))
+                    };
+                    if let Some(front) = front {
+                        let model: &M = self.model;
+                        for (stored, stored_elapsed) in front.iter() {
+                            if *stored_elapsed >= elapsed && model.key_dominates(stored, &key) {
+                                self.dominance_prunes += 1;
+                                return Ok(false);
+                            }
+                        }
+                        let before = front.len();
+                        front.retain(|(stored, stored_elapsed)| {
+                            !(elapsed >= *stored_elapsed && model.key_dominates(&key, stored))
+                        });
+                        self.front_entries -= before - front.len();
+                        if front.len() < MAX_STATES_PER_POSITION
+                            && self.front_entries < MAX_FRONT_ENTRIES
+                        {
+                            front.push((key, elapsed));
+                            self.front_entries += 1;
+                        }
+                    }
+                }
+            }
         }
 
         // Candidate batteries, deduplicated by identical state (symmetry)
         // and ordered by remaining charge (best first) so that good
         // incumbents are found early.
-        let mut candidates: Vec<usize> = Vec::with_capacity(available.len());
-        for &battery in &available {
-            let duplicate =
-                candidates.iter().any(|&other| self.model.states_identical(other, battery));
+        self.model.available_into(&mut self.avail);
+        let cand_start = self.candidates.len();
+        for position in 0..self.avail.len() {
+            let battery = self.avail[position];
+            let duplicate = self.candidates[cand_start..]
+                .iter()
+                .any(|&other| self.model.states_identical(other, battery));
             if !duplicate {
-                candidates.push(battery);
+                self.candidates.push(battery);
             }
         }
-        candidates.sort_by(|&a, &b| {
-            self.model
-                .charge(b)
-                .total
-                .partial_cmp(&self.model.charge(a).total)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        {
+            let model: &M = self.model;
+            self.candidates[cand_start..].sort_by(|&a, &b| {
+                model
+                    .charge(b)
+                    .total
+                    .partial_cmp(&model.charge(a).total)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
 
-        let branch_point = self.model.save_state();
-        let remaining = epoch.duration_steps() - offset;
-        for battery in candidates {
-            self.model.restore_state(&branch_point);
-            let advance = self.model.advance_job(
-                battery,
-                remaining,
-                epoch.draw_interval_steps(),
-                epoch.units_per_draw(),
-            )?;
-            let next = self.model.save_state();
-            self.current_decisions.push(battery);
-            if advance.completed {
-                self.explore(&next, epoch_index + 1, 0, elapsed + advance.steps_consumed)?;
-            } else {
-                self.explore(
-                    &next,
-                    epoch_index,
-                    offset + advance.steps_consumed,
-                    elapsed + advance.steps_consumed,
-                )?;
-            }
-            self.current_decisions.pop();
+        let depth = self.stack.len();
+        self.save_snapshot(depth);
+        self.stack.push(Frame {
+            epoch_index,
+            offset,
+            elapsed,
+            cand_start,
+            cand_end: self.candidates.len(),
+            next_candidate: cand_start,
+        });
+        Ok(true)
+    }
+
+    /// Saves the model's current state into `pool[depth]`, allocating only
+    /// when the pool has never been this deep before.
+    fn save_snapshot(&mut self, depth: usize) {
+        if depth == self.pool.len() {
+            self.pool.push(self.model.save_state());
+        } else {
+            self.model.save_state_into(&mut self.pool[depth]);
         }
-        Ok(())
     }
 
     fn record_candidate(&mut self, elapsed: u64) {
         if elapsed > self.best_steps {
             self.best_steps = elapsed;
-            self.best_decisions = self.current_decisions.clone();
+            self.best_decisions.clone_from(&self.current_decisions);
         }
     }
 
@@ -382,6 +692,48 @@ mod tests {
     }
 
     #[test]
+    fn memoized_search_matches_the_reference_search() {
+        let config = coarse_config();
+        for load in [TestLoad::Cl500, TestLoad::IlsAlt] {
+            let pruned = OptimalScheduler::new().find_optimal(&config, &load.profile()).unwrap();
+            let reference =
+                OptimalScheduler::reference().find_optimal(&config, &load.profile()).unwrap();
+            assert_eq!(
+                pruned.lifetime_steps, reference.lifetime_steps,
+                "{load}: pruning must not change the optimum"
+            );
+            assert!(
+                pruned.nodes_explored <= reference.nodes_explored,
+                "{load}: pruning must not grow the search ({} vs {})",
+                pruned.nodes_explored,
+                reference.nodes_explored
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_counters_are_reported() {
+        let config = coarse_config();
+        // ILs 250 drains slowly, so its deep search has many converging
+        // histories (ILs alt on two batteries has none after symmetry
+        // pruning — see the module docs).
+        let load = TestLoad::Ils250.profile();
+        let pruned = OptimalScheduler::new().find_optimal(&config, &load).unwrap();
+        assert!(pruned.memo_hits > 0, "the slow-drain load revisits states");
+        assert!(pruned.dominance_prunes > 0, "expanded states dominate later siblings");
+        let reference = OptimalScheduler::reference().find_optimal(&config, &load).unwrap();
+        assert_eq!(reference.memo_hits, 0);
+        assert_eq!(reference.dominance_prunes, 0);
+        assert!(
+            pruned.nodes_explored * 5 <= reference.nodes_explored,
+            "pruning shrinks the deep search at least 5x ({} vs {})",
+            pruned.nodes_explored,
+            reference.nodes_explored
+        );
+        assert_eq!(pruned.lifetime_steps, reference.lifetime_steps);
+    }
+
+    #[test]
     fn budget_exhaustion_is_reported() {
         let config = coarse_config();
         let result =
@@ -420,6 +772,9 @@ mod tests {
         let mut model = config.continuous_model();
         let optimal =
             OptimalScheduler::new().find_optimal_with(&config, &load, &mut model).unwrap();
+
+        // The continuous backend has no memo key, so the table never fires.
+        assert_eq!(optimal.memo_hits, 0);
 
         // Dominates the deterministic policies on the same backend.
         for policy in

@@ -1,0 +1,100 @@
+//! Equivalence of the memoized/pruned optimal search and the
+//! pruning-disabled reference search (the seed's plain bounded search).
+//!
+//! The transposition table and the dominance pruning are only admissible if
+//! they never change the computed optimum. This deterministic sampled
+//! property test sweeps the coarse-grid paper loads and seeded random loads
+//! across two- and three-battery systems and asserts bit-identical
+//! lifetimes, with the pruned search never exploring more nodes than the
+//! reference.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::FixedSchedule;
+use battery_sched::system::{simulate_policy, SystemConfig};
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use workload::paper_loads::TestLoad;
+use workload::random::RandomLoadSpec;
+use workload::LoadProfile;
+
+fn coarse_system(count: usize) -> SystemConfig {
+    SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), count).unwrap()
+}
+
+/// Deterministic random loads: seeds are fixed, so every run samples the
+/// same profiles. Higher currents for the three-battery system keep its
+/// reference search tractable (slow-drain loads explode combinatorially).
+fn random_profiles(count: usize) -> Vec<LoadProfile> {
+    let (currents, jobs, seeds): (Vec<f64>, usize, &[u64]) =
+        if count == 2 { (vec![0.25, 0.5], 40, &[11, 23]) } else { (vec![0.5, 1.0], 25, &[7]) };
+    let spec = RandomLoadSpec::new(currents, 1.0, 0.5, jobs).unwrap();
+    seeds.iter().map(|&seed| spec.generate(seed).unwrap()).collect()
+}
+
+fn assert_equivalent(config: &SystemConfig, profile: &LoadProfile, label: &str) {
+    let reference = OptimalScheduler::reference().find_optimal(config, profile).unwrap();
+    let pruned = OptimalScheduler::new().find_optimal(config, profile).unwrap();
+    assert_eq!(
+        pruned.lifetime_steps, reference.lifetime_steps,
+        "{label}: pruning changed the optimum"
+    );
+    assert!(
+        pruned.nodes_explored <= reference.nodes_explored,
+        "{label}: pruning grew the search ({} vs {})",
+        pruned.nodes_explored,
+        reference.nodes_explored
+    );
+    // The pruned search's decision sequence replays to the exact optimum.
+    let mut replay = FixedSchedule::new(pruned.decisions.clone());
+    let replayed = simulate_policy(config, profile, &mut replay).unwrap();
+    // A `None` lifetime means the load ended before the batteries died: the
+    // schedule survived the whole load, which the search reports as the full
+    // duration.
+    let lifetime = replayed.lifetime_steps().unwrap_or(pruned.lifetime_steps);
+    assert_eq!(lifetime, pruned.lifetime_steps, "{label}: decisions do not replay");
+}
+
+#[test]
+fn two_battery_search_is_equivalent_on_paper_loads() {
+    let config = coarse_system(2);
+    for load in [TestLoad::Cl500, TestLoad::Ils500, TestLoad::IlsAlt, TestLoad::Ils250] {
+        assert_equivalent(&config, &load.profile(), load.name());
+    }
+}
+
+#[test]
+fn two_battery_search_is_equivalent_on_random_loads() {
+    let config = coarse_system(2);
+    for (index, profile) in random_profiles(2).iter().enumerate() {
+        assert_equivalent(&config, profile, &format!("random[{index}]"));
+    }
+}
+
+#[test]
+fn three_battery_search_is_equivalent() {
+    let config = coarse_system(3);
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt] {
+        assert_equivalent(&config, &load.profile(), load.name());
+    }
+    for (index, profile) in random_profiles(3).iter().enumerate() {
+        assert_equivalent(&config, profile, &format!("random[{index}]"));
+    }
+}
+
+#[test]
+fn ablations_are_individually_equivalent() {
+    // Memoization and dominance pruning must each preserve the optimum on
+    // their own, not just in combination.
+    let config = coarse_system(2);
+    for load in [TestLoad::IlsAlt, TestLoad::Ils250] {
+        let profile = load.profile();
+        let reference = OptimalScheduler::reference().find_optimal(&config, &profile).unwrap();
+        for scheduler in [
+            OptimalScheduler::new().without_dominance(),
+            OptimalScheduler::new().without_memoization(),
+        ] {
+            let outcome = scheduler.find_optimal(&config, &profile).unwrap();
+            assert_eq!(outcome.lifetime_steps, reference.lifetime_steps, "{load}");
+        }
+    }
+}

@@ -107,6 +107,59 @@ impl DiscreteBattery {
         self.m_delta = self.m_delta.saturating_add(units);
     }
 
+    /// Packs the dynamic state into a single 128-bit word: total charge,
+    /// height difference, recovery clock and the observed-empty flag. Equal
+    /// words are equal states, and the ordering is stable, so search
+    /// schedulers can canonicalize a multi-battery state by sorting the
+    /// per-battery words — without allocating.
+    #[must_use]
+    pub fn state_word(&self) -> u128 {
+        // The recovery clock is bounded by the largest per-unit recovery
+        // time, far below 2^63; the mask keeps the packing total even if a
+        // pathological table ever exceeded it.
+        let clock = self.recovery_clock & ((1u64 << 63) - 1);
+        (u128::from(self.n_gamma) << 96)
+            | (u128::from(self.m_delta) << 64)
+            | (u128::from(clock) << 1)
+            | u128::from(self.observed_empty)
+    }
+
+    /// [`DiscreteBattery::dominates`] on packed [state
+    /// words](DiscreteBattery::state_word), so search schedulers can compare
+    /// canonicalized states without reconstructing batteries. This is the
+    /// single source of truth for the dominance rule; `dominates` delegates
+    /// here.
+    #[must_use]
+    pub fn word_dominates(a: u128, b: u128) -> bool {
+        let (n_a, m_a, clock_a, empty_a) = unpack(a);
+        let (n_b, m_b, clock_b, empty_b) = unpack(b);
+        if empty_a && !empty_b {
+            return false;
+        }
+        if n_a < n_b {
+            return false;
+        }
+        m_a < m_b || (m_a == m_b && clock_a >= clock_b)
+    }
+
+    /// Whether this battery's state is at least as good as `other`'s in
+    /// every component, so that any schedule achievable from `other` is
+    /// achievable (or bettered) from `self`:
+    ///
+    /// * at least as much total charge (`n_gamma`),
+    /// * at least as far along in recovery — a strictly smaller height
+    ///   difference, or an equal one with an equal-or-ahead recovery clock
+    ///   (recovery trajectories are deterministic and never cross),
+    /// * not retired unless `other` is retired too.
+    ///
+    /// Both emptiness (Eq. 8 is monotone in `n` and `m`) and every future
+    /// draw/recovery step preserve this ordering, which is what makes
+    /// dominance pruning in the optimal search sound.
+    #[must_use]
+    pub fn dominates(&self, other: &DiscreteBattery) -> bool {
+        Self::word_dominates(self.state_word(), other.state_word())
+    }
+
     /// Advances the recovery process by `steps` time steps.
     ///
     /// While the height difference exceeds one unit, each elapsed
@@ -138,6 +191,18 @@ impl DiscreteBattery {
         self.advance_recovery(1, table);
         self.m_delta < before
     }
+}
+
+/// Unpacks a [`DiscreteBattery::state_word`] into
+/// `(n_gamma, m_delta, recovery_clock, observed_empty)`.
+fn unpack(word: u128) -> (u32, u32, u64, bool) {
+    #[allow(clippy::cast_possible_truncation)]
+    let n_gamma = (word >> 96) as u32;
+    #[allow(clippy::cast_possible_truncation)]
+    let m_delta = (word >> 64) as u32;
+    #[allow(clippy::cast_possible_truncation)]
+    let clock = ((word >> 1) as u64) & ((1u64 << 63) - 1);
+    (n_gamma, m_delta, clock, word & 1 == 1)
 }
 
 #[cfg(test)]
@@ -243,6 +308,54 @@ mod tests {
         battery.draw(5);
         assert_eq!(battery.charge_units(), 0);
         assert_eq!(battery.height_units(), 5);
+    }
+
+    #[test]
+    fn state_words_are_injective_over_the_dynamic_state() {
+        let (params, disc, table) = setup();
+        let a = DiscreteBattery::full(&params, &disc);
+        let mut b = a;
+        assert_eq!(a.state_word(), b.state_word());
+        b.draw(1);
+        assert_ne!(a.state_word(), b.state_word());
+        let mut c = DiscreteBattery::from_units(400, 3);
+        let word = c.state_word();
+        c.advance_recovery(1, &table);
+        assert_ne!(word, c.state_word(), "the recovery clock is part of the state");
+        let mut d = c;
+        d.mark_observed_empty();
+        assert_ne!(c.state_word(), d.state_word());
+    }
+
+    #[test]
+    fn dominance_is_component_wise() {
+        let fresh = DiscreteBattery::from_units(500, 10);
+        let drained = DiscreteBattery::from_units(400, 20);
+        assert!(fresh.dominates(&drained));
+        assert!(!drained.dominates(&fresh));
+        // Reflexive.
+        assert!(fresh.dominates(&fresh));
+        // More charge but a worse height difference: incomparable.
+        let mixed = DiscreteBattery::from_units(450, 25);
+        assert!(!mixed.dominates(&drained));
+        assert!(!drained.dominates(&mixed));
+        // A retired battery never dominates a live one.
+        let mut retired = fresh;
+        retired.mark_observed_empty();
+        assert!(!retired.dominates(&fresh));
+        assert!(fresh.dominates(&retired));
+    }
+
+    #[test]
+    fn dominance_breaks_ties_on_the_recovery_clock() {
+        let (_, _, table) = setup();
+        let behind = DiscreteBattery::from_units(400, 3);
+        let mut ahead = behind;
+        // Advance less than one full recovery: same m_delta, larger clock.
+        ahead.advance_recovery(1, &table);
+        assert_eq!(ahead.height_units(), behind.height_units());
+        assert!(ahead.dominates(&behind));
+        assert!(!behind.dominates(&ahead));
     }
 
     #[test]

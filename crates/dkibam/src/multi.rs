@@ -91,6 +91,23 @@ impl MultiBatteryState {
             .collect()
     }
 
+    /// Fills `out` with the indices of the batteries that can still serve a
+    /// job, reusing its allocation. Search schedulers query availability at
+    /// every node; this keeps the hot path allocation-free.
+    pub fn available_into(&self, params: &BatteryParams, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.batteries.iter().enumerate().filter(|(_, b)| !b.is_empty(params)).map(|(i, _)| i),
+        );
+    }
+
+    /// Whether at least one battery can still serve a job (the negation of
+    /// [`MultiBatteryState::all_empty`], without building an index list).
+    #[must_use]
+    pub fn any_available(&self, params: &BatteryParams) -> bool {
+        self.batteries.iter().any(|b| !b.is_empty(params))
+    }
+
     /// Whether every battery is empty (the system has reached the end of its
     /// lifetime).
     #[must_use]
@@ -289,6 +306,22 @@ mod tests {
         let advance = state.advance_job(0, 50, 0, 0, &table, &params).unwrap();
         assert!(advance.completed);
         assert_eq!(state.total_charge_units(), 1100);
+    }
+
+    #[test]
+    fn available_into_matches_available() {
+        let (params, disc, table) = setup();
+        let mut state = MultiBatteryState::new_full(&params, &disc, 3);
+        let mut buf = vec![7usize; 5];
+        state.available_into(&params, &mut buf);
+        assert_eq!(buf, state.available(&params));
+        assert!(state.any_available(&params));
+        // Retire battery 1 and check the reduced set.
+        let advance = state.advance_job(1, 10_000, 2, 1, &table, &params).unwrap();
+        assert!(!advance.completed);
+        state.available_into(&params, &mut buf);
+        assert_eq!(buf, vec![0, 2]);
+        assert!(state.any_available(&params));
     }
 
     #[test]

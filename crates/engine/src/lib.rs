@@ -53,8 +53,9 @@ mod runner;
 mod spec;
 
 pub use runner::{
-    results_from_json, results_to_json, run_grid, run_grid_with_threads, run_scenario,
-    run_scenarios_parallel, ScenarioResult,
+    results_from_json, results_to_json, run_grid, run_grid_streaming, run_grid_with_threads,
+    run_scenario, run_scenario_with_cache, ScenarioResult, SearchStats, StreamSummary,
+    StreamingResultWriter, WorkerCache,
 };
 pub use spec::{BackendKind, BatterySpec, DiscSpec, LoadSpec, PolicyKind, Scenario, ScenarioSpec};
 
@@ -74,6 +75,8 @@ pub enum EngineError {
     Json(json::JsonError),
     /// A well-formed JSON document did not describe a valid grid.
     InvalidSpec(String),
+    /// A streaming writer failed to write.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for EngineError {
@@ -84,6 +87,7 @@ impl fmt::Display for EngineError {
             EngineError::Workload(e) => write!(f, "load spec error: {e}"),
             EngineError::Json(e) => write!(f, "{e}"),
             EngineError::InvalidSpec(message) => write!(f, "invalid scenario spec: {message}"),
+            EngineError::Io(e) => write!(f, "stream write error: {e}"),
         }
     }
 }
@@ -96,7 +100,14 @@ impl std::error::Error for EngineError {
             EngineError::Workload(e) => Some(e),
             EngineError::Json(e) => Some(e),
             EngineError::InvalidSpec(_) => None,
+            EngineError::Io(e) => Some(e),
         }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
     }
 }
 

@@ -1,18 +1,49 @@
-//! Executes expanded scenario grids, in parallel.
+//! Executes expanded scenario grids, in parallel, with streaming output.
 //!
 //! The runner distributes scenarios over a fixed pool of scoped worker
-//! threads (`std::thread::scope` + an atomic work index — the environment is
-//! offline, so no `rayon`; the pattern is the same work-stealing-free
-//! chunking `rayon::par_iter` would apply to a grid this shape). Results
-//! come back in grid order regardless of completion order.
+//! threads in **contiguous chunks**: workers claim a chunk of grid indices
+//! from an atomic cursor, run it against per-worker cached system
+//! configurations (battery tables are built once per worker, not once per
+//! cell) and send the finished chunk back to the coordinating thread, which
+//! re-assembles grid order incrementally. A grid error poisons the cursor so
+//! workers stop claiming new chunks, and the first error **in grid order**
+//! is reported.
+//!
+//! Results can be collected ([`run_grid`]) or **streamed** as JSON while the
+//! grid is still running ([`run_grid_streaming`]): each result is written as
+//! one line the moment its grid-order turn arrives, so a 10⁵-cell sweep
+//! never materializes all results in memory. The streamed document is the
+//! same format [`results_to_json`] produces (modulo insignificant
+//! whitespace), so [`results_from_json`] parses both.
 
 use crate::json::JsonValue;
-use crate::spec::{BackendKind, Scenario, ScenarioSpec};
+use crate::spec::{BackendKind, PolicyKind, Scenario, ScenarioSpec};
 use crate::EngineError;
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::FixedSchedule;
 use battery_sched::system::{simulate_policy_with, SystemConfig, SystemOutcome};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
+
+/// Scenarios per work chunk. Large enough to amortize the claim and the
+/// per-chunk channel send, small enough to keep workers balanced and the
+/// streaming reorder window shallow.
+const DEFAULT_CHUNK_SIZE: usize = 16;
+
+/// Search statistics of an optimal-schedule scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Decision nodes explored by the branch-and-bound search.
+    pub nodes_explored: u64,
+    /// Nodes pruned by the transposition table.
+    pub memo_hits: u64,
+    /// Nodes pruned by state dominance.
+    pub dominance_prunes: u64,
+}
 
 /// The measured outcome of one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,7 +51,9 @@ pub struct ScenarioResult {
     /// The scenario that was run.
     pub scenario: Scenario,
     /// System lifetime in minutes, or `None` if the load ended before the
-    /// batteries died (finite loads only).
+    /// batteries died (finite loads only; the optimal policy reports the
+    /// full load duration in that case, because the search proves the
+    /// system survives the whole load).
     pub lifetime_minutes: Option<f64>,
     /// Charge left in the batteries when the run stopped, in A·min.
     pub residual_charge: f64,
@@ -30,6 +63,8 @@ pub struct ScenarioResult {
     pub decisions: u64,
     /// Wall-clock time of the simulation in microseconds.
     pub wall_micros: u64,
+    /// Branch-and-bound statistics, for [`PolicyKind::Optimal`] scenarios.
+    pub search: Option<SearchStats>,
 }
 
 impl ScenarioResult {
@@ -37,7 +72,8 @@ impl ScenarioResult {
     /// a result set is self-describing).
     #[must_use]
     pub fn to_json_value(&self) -> JsonValue {
-        JsonValue::object(vec![
+        #[allow(clippy::cast_precision_loss)]
+        let mut fields = vec![
             ("battery", JsonValue::String(self.scenario.battery.name.clone())),
             ("battery_count", JsonValue::Number(self.scenario.battery_count as f64)),
             ("time_step", JsonValue::Number(self.scenario.disc.time_step)),
@@ -50,7 +86,16 @@ impl ScenarioResult {
             ("switches", JsonValue::Number(self.switches as f64)),
             ("decisions", JsonValue::Number(self.decisions as f64)),
             ("wall_micros", JsonValue::Number(self.wall_micros as f64)),
-        ])
+        ];
+        if let Some(stats) = self.search {
+            #[allow(clippy::cast_precision_loss)]
+            fields.extend([
+                ("nodes_explored", JsonValue::Number(stats.nodes_explored as f64)),
+                ("memo_hits", JsonValue::Number(stats.memo_hits as f64)),
+                ("dominance_prunes", JsonValue::Number(stats.dominance_prunes as f64)),
+            ]);
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -72,9 +117,9 @@ pub fn results_to_json(
 }
 
 /// Parses the `results` half of a document produced by [`results_to_json`]
-/// back into summary rows `(label fields, lifetime, residual)`. Scenario
-/// descriptors in results are denormalized (name strings), so the parse
-/// returns the raw JSON objects for callers that want specific fields.
+/// or [`run_grid_streaming`] back into summary rows. Scenario descriptors in
+/// results are denormalized (name strings), so the parse returns the raw
+/// JSON objects for callers that want specific fields.
 ///
 /// # Errors
 ///
@@ -93,40 +138,299 @@ pub fn results_from_json(text: &str) -> Result<(ScenarioSpec, Vec<JsonValue>), E
     Ok((spec, results))
 }
 
-/// Runs a single scenario.
+/// Key of a cached system configuration: battery parameters,
+/// discretization (by exact bit pattern) and battery count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SystemKey {
+    capacity: u64,
+    c: u64,
+    k_prime: u64,
+    time_step: u64,
+    charge_unit: u64,
+    count: usize,
+}
+
+/// A validated system configuration with ready-built backends. The
+/// discretized backend owns the recovery table, which is the expensive part
+/// (`O(N)` log evaluations); grids that sweep loads or policies against one
+/// battery setup reuse it across every cell a worker claims.
+#[derive(Debug)]
+struct CachedSystem {
+    config: SystemConfig,
+    discretized: battery_sched::backends::DiscretizedKibam,
+    continuous: battery_sched::backends::ContinuousKibam,
+}
+
+/// Per-worker cache of validated system configurations.
+///
+/// [`run_scenario`] rebuilds battery parameters, discretization and —
+/// costliest — the recovery table for every cell; workers hold one of these
+/// so large grids that vary only load/policy/backend pay table construction
+/// once per worker instead of once per cell.
+#[derive(Debug, Default)]
+pub struct WorkerCache {
+    systems: HashMap<SystemKey, CachedSystem>,
+}
+
+impl WorkerCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn system(&mut self, scenario: &Scenario) -> Result<&mut CachedSystem, EngineError> {
+        let key = SystemKey {
+            capacity: scenario.battery.capacity.to_bits(),
+            c: scenario.battery.c.to_bits(),
+            k_prime: scenario.battery.k_prime.to_bits(),
+            time_step: scenario.disc.time_step.to_bits(),
+            charge_unit: scenario.disc.charge_unit.to_bits(),
+            count: scenario.battery_count,
+        };
+        match self.systems.entry(key) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => {
+                let params = scenario.battery.to_params()?;
+                let disc = scenario.disc.to_discretization()?;
+                let config = SystemConfig::new(params, disc, scenario.battery_count)?;
+                let discretized = config.discretized_model();
+                let continuous = config.continuous_model();
+                Ok(entry.insert(CachedSystem { config, discretized, continuous }))
+            }
+        }
+    }
+}
+
+/// Runs a single scenario with a fresh cache (see
+/// [`run_scenario_with_cache`] for the reusing variant workers use).
 ///
 /// # Errors
 ///
-/// Propagates spec-validation and simulation errors.
+/// Propagates spec-validation, simulation and search-budget errors.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, EngineError> {
-    let params = scenario.battery.to_params()?;
-    let disc = scenario.disc.to_discretization()?;
-    let config = SystemConfig::new(params, disc, scenario.battery_count)?;
+    run_scenario_with_cache(scenario, &mut WorkerCache::new())
+}
+
+/// Runs a single scenario, reusing validated configurations and recovery
+/// tables from `cache` (backends are reset before every simulation, so
+/// reuse cannot leak state between cells).
+///
+/// # Errors
+///
+/// Same as [`run_scenario`].
+pub fn run_scenario_with_cache(
+    scenario: &Scenario,
+    cache: &mut WorkerCache,
+) -> Result<ScenarioResult, EngineError> {
     let profile = scenario.load.profile()?;
-    let load = config.discretize(&profile)?;
-    let mut policy = scenario.policy.build();
+    let system = cache.system(scenario)?;
+    let load = system.config.discretize(&profile)?;
 
     let start = Instant::now();
-    let outcome: SystemOutcome = match scenario.backend {
-        BackendKind::Discretized => {
-            let mut model = config.discretized_model();
-            simulate_policy_with(&config, &load, policy.as_mut(), &mut model)?
+    let (outcome, lifetime_minutes, search) = match scenario.policy {
+        PolicyKind::Optimal { budget } => {
+            let scheduler = OptimalScheduler::with_budget(budget);
+            let optimal = match scenario.backend {
+                BackendKind::Discretized => {
+                    scheduler.find_optimal_with(&system.config, &load, &mut system.discretized)?
+                }
+                BackendKind::Continuous => {
+                    scheduler.find_optimal_with(&system.config, &load, &mut system.continuous)?
+                }
+            };
+            // Replay the optimal decision sequence to recover the residual
+            // charge and switch counts the deterministic cells report.
+            let mut replay = FixedSchedule::new(optimal.decisions.clone());
+            let outcome: SystemOutcome = match scenario.backend {
+                BackendKind::Discretized => simulate_policy_with(
+                    &system.config,
+                    &load,
+                    &mut replay,
+                    &mut system.discretized,
+                )?,
+                BackendKind::Continuous => simulate_policy_with(
+                    &system.config,
+                    &load,
+                    &mut replay,
+                    &mut system.continuous,
+                )?,
+            };
+            let stats = SearchStats {
+                nodes_explored: optimal.nodes_explored as u64,
+                memo_hits: optimal.memo_hits as u64,
+                dominance_prunes: optimal.dominance_prunes as u64,
+            };
+            let minutes = optimal.lifetime_minutes(&system.config);
+            (outcome, Some(minutes), Some(stats))
         }
-        BackendKind::Continuous => {
-            let mut model = config.continuous_model();
-            simulate_policy_with(&config, &load, policy.as_mut(), &mut model)?
+        _ => {
+            let mut policy =
+                scenario.policy.build().expect("non-optimal policies always instantiate");
+            let outcome: SystemOutcome = match scenario.backend {
+                BackendKind::Discretized => simulate_policy_with(
+                    &system.config,
+                    &load,
+                    policy.as_mut(),
+                    &mut system.discretized,
+                )?,
+                BackendKind::Continuous => simulate_policy_with(
+                    &system.config,
+                    &load,
+                    policy.as_mut(),
+                    &mut system.continuous,
+                )?,
+            };
+            let minutes = outcome.lifetime_minutes();
+            (outcome, minutes, None)
         }
     };
     let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     Ok(ScenarioResult {
         scenario: scenario.clone(),
-        lifetime_minutes: outcome.lifetime_minutes(),
+        lifetime_minutes,
         residual_charge: outcome.residual_charge(),
         switches: outcome.schedule().switches() as u64,
         decisions: outcome.schedule().assignments.len() as u64,
         wall_micros,
+        search,
     })
+}
+
+/// One completed chunk of grid work, sent from a worker to the coordinator.
+struct ChunkMessage {
+    chunk_index: usize,
+    /// Results of the chunk's scenarios, in grid order, up to the first
+    /// error (if any).
+    results: Vec<ScenarioResult>,
+    /// The first error in the chunk, with its grid index.
+    error: Option<(usize, EngineError)>,
+}
+
+/// Outcome of a chunked grid execution.
+struct ChunkedOutcome {
+    /// How many scenarios actually executed (including the failing one).
+    /// With the poison flag, this stays far below the grid size when an
+    /// early cell fails. Asserted by tests; not part of the public API.
+    #[cfg_attr(not(test), allow(dead_code))]
+    executed: usize,
+    /// The first error in grid order, if any.
+    error: Option<EngineError>,
+}
+
+/// Runs `scenarios` on `threads` workers in contiguous chunks, feeding
+/// completed results to `sink` **in grid order** as soon as their turn
+/// arrives. The sink returns whether to keep going: a `false` (e.g. the
+/// output stream died) poisons the claim cursor exactly like a scenario
+/// error does. On poison, in-flight chunks finish, no new chunks start, and
+/// the sink stops receiving.
+fn run_chunked(
+    scenarios: &[Scenario],
+    threads: usize,
+    chunk_size: usize,
+    mut sink: impl FnMut(ScenarioResult) -> bool,
+) -> ChunkedOutcome {
+    let chunk_size = chunk_size.max(1);
+    let workers = threads.max(1).min(scenarios.len().max(1));
+    if workers <= 1 || scenarios.len() <= chunk_size {
+        // Inline execution: grid order is the execution order.
+        let mut cache = WorkerCache::new();
+        let mut executed = 0;
+        for scenario in scenarios {
+            executed += 1;
+            match run_scenario_with_cache(scenario, &mut cache) {
+                Ok(result) => {
+                    if !sink(result) {
+                        return ChunkedOutcome { executed, error: None };
+                    }
+                }
+                Err(error) => return ChunkedOutcome { executed, error: Some(error) },
+            }
+        }
+        return ChunkedOutcome { executed, error: None };
+    }
+
+    let next = AtomicUsize::new(0);
+    let poison = AtomicBool::new(false);
+    let (sender, receiver) = mpsc::channel::<ChunkMessage>();
+    let mut executed = 0;
+    let mut first_error = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let next = &next;
+            let poison = &poison;
+            scope.spawn(move || {
+                let mut cache = WorkerCache::new();
+                loop {
+                    if poison.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let start = next.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= scenarios.len() {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(scenarios.len());
+                    let mut results = Vec::with_capacity(end - start);
+                    let mut error = None;
+                    for (offset, scenario) in scenarios[start..end].iter().enumerate() {
+                        match run_scenario_with_cache(scenario, &mut cache) {
+                            Ok(result) => results.push(result),
+                            Err(e) => {
+                                poison.store(true, Ordering::Release);
+                                error = Some((start + offset, e));
+                                break;
+                            }
+                        }
+                    }
+                    let failed = error.is_some();
+                    // A send only fails if the receiver is gone, which
+                    // cannot happen while the coordinator loop below runs.
+                    let _ = sender.send(ChunkMessage {
+                        chunk_index: start / chunk_size,
+                        results,
+                        error,
+                    });
+                    if failed {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(sender);
+
+        // Coordinator: re-assemble grid order incrementally. Chunk indices
+        // are claimed densely from zero, so the in-order stream advances as
+        // soon as the next chunk lands; only out-of-order chunks wait.
+        let mut pending: BTreeMap<usize, ChunkMessage> = BTreeMap::new();
+        let mut next_chunk = 0;
+        let mut sink_open = true;
+        for message in receiver {
+            executed += message.results.len() + usize::from(message.error.is_some());
+            pending.insert(message.chunk_index, message);
+            while let Some(message) = pending.remove(&next_chunk) {
+                next_chunk += 1;
+                if first_error.is_some() || !sink_open {
+                    continue;
+                }
+                for result in message.results {
+                    if !sink(result) {
+                        // The consumer died (e.g. a stream-write failure):
+                        // poison the cursor so workers stop claiming chunks
+                        // instead of computing results nobody can receive.
+                        sink_open = false;
+                        poison.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+                if let Some((_, error)) = message.error {
+                    first_error = Some(error);
+                }
+            }
+        }
+    });
+    ChunkedOutcome { executed, error: first_error }
 }
 
 /// Runs every scenario of the grid in parallel and returns the results in
@@ -141,7 +445,9 @@ pub fn run_grid(spec: &ScenarioSpec) -> Result<Vec<ScenarioResult>, EngineError>
     run_grid_with_threads(spec, threads)
 }
 
-/// Like [`run_grid`] with an explicit worker count (1 runs inline).
+/// Like [`run_grid`] with an explicit worker count (1 runs inline). A
+/// failing cell poisons the grid: workers stop claiming chunks, and the
+/// first error in grid order is returned.
 ///
 /// # Errors
 ///
@@ -151,55 +457,124 @@ pub fn run_grid_with_threads(
     threads: usize,
 ) -> Result<Vec<ScenarioResult>, EngineError> {
     let scenarios = spec.expand();
-    let mut outcomes = run_scenarios_parallel(&scenarios, threads);
-    // Surface the first error in grid order; otherwise unwrap all results.
-    let mut results = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes.drain(..) {
-        results.push(outcome?);
+    let mut results = Vec::with_capacity(scenarios.len());
+    let outcome = run_chunked(&scenarios, threads, DEFAULT_CHUNK_SIZE, |r| {
+        results.push(r);
+        true
+    });
+    match outcome.error {
+        Some(error) => Err(error),
+        None => Ok(results),
     }
-    Ok(results)
 }
 
-/// Runs a list of scenarios on `threads` workers, returning one outcome per
-/// scenario, in input order.
-#[must_use]
-pub fn run_scenarios_parallel(
-    scenarios: &[Scenario],
-    threads: usize,
-) -> Vec<Result<ScenarioResult, EngineError>> {
-    let workers = threads.max(1).min(scenarios.len().max(1));
-    if workers <= 1 || scenarios.len() <= 1 {
-        return scenarios.iter().map(run_scenario).collect();
+/// Summary of a streamed grid run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Number of results written to the stream.
+    pub written: usize,
+}
+
+/// An incremental writer for the [`results_to_json`] document format: the
+/// spec is written up front, then each result is appended as one line, and
+/// [`finish`](StreamingResultWriter::finish) closes the document. The output
+/// parses with [`results_from_json`] and never holds more than one result in
+/// memory.
+#[derive(Debug)]
+pub struct StreamingResultWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> StreamingResultWriter<W> {
+    /// Writes the document header (the spec and the opening of the result
+    /// array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Json`] for non-finite spec numbers and
+    /// [`EngineError::Io`] on write failure.
+    pub fn new(mut out: W, spec: &ScenarioSpec) -> Result<Self, EngineError> {
+        let spec_json = spec.to_json_value().render()?;
+        write!(out, "{{\"spec\":{spec_json},\"results\":[")?;
+        Ok(Self { out, written: 0 })
     }
 
-    let next = AtomicUsize::new(0);
-    let (sender, receiver) = mpsc::channel::<(usize, Result<ScenarioResult, EngineError>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let sender = sender.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= scenarios.len() {
-                    break;
-                }
-                // A send only fails if the receiver is gone, which cannot
-                // happen while the scope is alive.
-                let _ = sender.send((index, run_scenario(&scenarios[index])));
-            });
+    /// Appends one result as a single line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Json`] for non-finite numbers and
+    /// [`EngineError::Io`] on write failure.
+    pub fn push(&mut self, result: &ScenarioResult) -> Result<(), EngineError> {
+        let line = result.to_json_value().render()?;
+        if self.written > 0 {
+            self.out.write_all(b",")?;
         }
-    });
-    drop(sender);
-
-    let mut outcomes: Vec<Option<Result<ScenarioResult, EngineError>>> =
-        (0..scenarios.len()).map(|_| None).collect();
-    for (index, outcome) in receiver {
-        outcomes[index] = Some(outcome);
+        self.out.write_all(b"\n")?;
+        self.out.write_all(line.as_bytes())?;
+        self.written += 1;
+        Ok(())
     }
-    outcomes
-        .into_iter()
-        .map(|slot| slot.expect("every scenario index is executed exactly once"))
-        .collect()
+
+    /// The number of results written so far.
+    #[must_use]
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Closes the document and returns the inner writer (flushed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] on write failure.
+    pub fn finish(mut self) -> Result<W, EngineError> {
+        self.out.write_all(b"\n]}")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Runs the grid in parallel and **streams** results to `out` in grid order
+/// as they complete, without materializing the full result set: memory use
+/// is bounded by the out-of-order window (roughly `threads` chunks), not by
+/// the grid size. `chunk_size` of `None` uses the default.
+///
+/// # Errors
+///
+/// Returns the first scenario error in grid order (the stream then holds a
+/// truncated, unterminated document), or [`EngineError::Io`] if writing
+/// fails.
+pub fn run_grid_streaming<W: Write>(
+    spec: &ScenarioSpec,
+    threads: usize,
+    chunk_size: Option<usize>,
+    out: W,
+) -> Result<StreamSummary, EngineError> {
+    let scenarios = spec.expand();
+    let mut writer = StreamingResultWriter::new(out, spec)?;
+    let mut io_error: Option<EngineError> = None;
+    let outcome =
+        run_chunked(&scenarios, threads, chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE), |result| {
+            match writer.push(&result) {
+                Ok(()) => true,
+                Err(error) => {
+                    // Returning `false` poisons the grid, so a dead output
+                    // stream aborts the sweep instead of running it out.
+                    io_error = Some(error);
+                    false
+                }
+            }
+        });
+    if let Some(error) = outcome.error {
+        return Err(error);
+    }
+    if let Some(error) = io_error {
+        return Err(error);
+    }
+    let written = writer.written();
+    writer.finish()?;
+    Ok(StreamSummary { written })
 }
 
 #[cfg(test)]
@@ -289,5 +664,138 @@ mod tests {
         spec.batteries =
             vec![BatterySpec { name: "bad".into(), capacity: -5.0, c: 0.2, k_prime: 0.1 }];
         assert!(run_grid(&spec).is_err());
+    }
+
+    #[test]
+    fn optimal_policy_runs_through_the_engine() {
+        let mut spec = small_grid();
+        spec.discretizations = vec![DiscSpec::coarse()];
+        spec.loads = vec![LoadSpec::Paper(TestLoad::IlsAlt)];
+        spec.policies = vec![PolicyKind::BestOfTwo, PolicyKind::optimal()];
+        let results = run_grid(&spec).unwrap();
+        assert_eq!(results.len(), 2);
+        let best = &results[0];
+        let optimal = &results[1];
+        assert!(best.search.is_none());
+        let stats = optimal.search.expect("optimal cells report search stats");
+        assert!(stats.nodes_explored > 0);
+        // Table 5 shape: the optimal schedule clearly beats best-of-two on
+        // the alternating load.
+        assert!(optimal.lifetime_minutes.unwrap() >= best.lifetime_minutes.unwrap());
+        // The replayed schedule agrees with the search lifetime, so the
+        // residual charge is the optimal schedule's residual.
+        assert!(optimal.residual_charge > 0.0);
+        // And the JSON row carries the stats.
+        let json = optimal.to_json_value().render().unwrap();
+        assert!(json.contains("\"nodes_explored\""));
+    }
+
+    #[test]
+    fn optimal_budget_errors_poison_the_grid() {
+        let mut spec = small_grid();
+        spec.discretizations = vec![DiscSpec::coarse()];
+        spec.policies = vec![PolicyKind::Optimal { budget: 1 }];
+        let error = run_grid(&spec).unwrap_err();
+        assert!(error.to_string().contains("budget"), "{error}");
+    }
+
+    #[test]
+    fn worker_cache_reuses_systems_without_changing_results() {
+        let spec = small_grid();
+        let scenarios = spec.expand();
+        let mut cache = WorkerCache::new();
+        for scenario in &scenarios {
+            let cached = run_scenario_with_cache(scenario, &mut cache).unwrap();
+            let fresh = run_scenario(scenario).unwrap();
+            assert_eq!(cached.lifetime_minutes, fresh.lifetime_minutes);
+            assert_eq!(cached.switches, fresh.switches);
+        }
+        // All cells share one battery/disc/count triple.
+        assert_eq!(cache.systems.len(), 1);
+    }
+
+    #[test]
+    fn streamed_grid_matches_collected_grid() {
+        let spec = small_grid();
+        let collected = run_grid_with_threads(&spec, 4).unwrap();
+        let mut buffer = Vec::new();
+        let summary = run_grid_streaming(&spec, 4, Some(2), &mut buffer).unwrap();
+        assert_eq!(summary.written, collected.len());
+        let text = String::from_utf8(buffer).unwrap();
+        let (spec_back, raw_results) = results_from_json(&text).unwrap();
+        assert_eq!(spec_back, spec);
+        assert_eq!(raw_results.len(), collected.len());
+        for (raw, result) in raw_results.iter().zip(&collected) {
+            assert_eq!(raw.get("load").unwrap().as_str().unwrap(), result.scenario.load.name());
+            assert_eq!(raw.get("lifetime_minutes").unwrap().as_f64(), result.lifetime_minutes);
+        }
+    }
+
+    #[test]
+    fn poisoned_grid_stops_claiming_work() {
+        // A huge grid whose very first cell fails: with the poison flag the
+        // workers must stop long before the grid is exhausted.
+        let mut spec = small_grid();
+        spec.batteries =
+            vec![BatterySpec { name: "bad".into(), capacity: -5.0, c: 0.2, k_prime: 0.1 }];
+        spec.loads = (0..500).map(|seed| LoadSpec::random_paper_levels(seed, 5)).collect();
+        let scenarios = spec.expand();
+        assert_eq!(scenarios.len(), 1000);
+
+        // Single worker: exactly one cell executes before the poison stops
+        // the claim loop.
+        let outcome = run_chunked(&scenarios, 1, 16, |_| true);
+        assert!(outcome.error.is_some());
+        assert_eq!(outcome.executed, 1);
+
+        // Multiple workers: in-flight chunks may finish, but the grid never
+        // runs to completion.
+        let outcome = run_chunked(&scenarios, 4, 16, |_| true);
+        assert!(outcome.error.is_some());
+        assert!(
+            outcome.executed < scenarios.len() / 2,
+            "poison must stop the grid early (executed {})",
+            outcome.executed
+        );
+    }
+
+    #[test]
+    fn dead_sink_poisons_the_grid() {
+        // A sink that refuses results (e.g. the output stream died) must
+        // stop the sweep instead of running the whole grid for nothing.
+        let mut spec = small_grid();
+        spec.loads = (0..1000).map(|seed| LoadSpec::random_paper_levels(seed, 20)).collect();
+        let scenarios = spec.expand();
+
+        // Inline path: execution stops at the first refused result.
+        let outcome = run_chunked(&scenarios, 1, 16, |_| false);
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.executed, 1, "inline execution stops at the first refusal");
+
+        // Parallel path: in-flight chunks may finish, but the grid never
+        // runs to completion.
+        let outcome = run_chunked(&scenarios, 4, 16, |_| false);
+        assert!(outcome.error.is_none());
+        assert!(
+            outcome.executed < scenarios.len() / 2,
+            "dead sink must stop the grid early (executed {})",
+            outcome.executed
+        );
+    }
+
+    #[test]
+    fn first_error_in_grid_order_is_reported() {
+        // Two bad batteries with distinct capacities: whichever worker hits
+        // an error first, the reported one must be the first in grid order
+        // (capacity -5, not -7).
+        let mut spec = small_grid();
+        spec.batteries = vec![
+            BatterySpec { name: "bad-a".into(), capacity: -5.0, c: 0.2, k_prime: 0.1 },
+            BatterySpec { name: "bad-b".into(), capacity: -7.0, c: 0.2, k_prime: 0.1 },
+        ];
+        for threads in [1, 4] {
+            let error = run_grid_with_threads(&spec, threads).unwrap_err();
+            assert!(error.to_string().contains("-5"), "got: {error}");
+        }
     }
 }

@@ -14,6 +14,7 @@ use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequent
 use kibam::BatteryParams;
 use workload::builder::LoadProfileBuilder;
 use workload::paper_loads::TestLoad;
+use workload::random::RandomLoadSpec;
 use workload::LoadProfile;
 
 /// A battery type in a scenario grid.
@@ -145,10 +146,23 @@ pub enum PolicyKind {
     RoundRobin,
     /// Always pick the battery with the most available charge.
     BestOfTwo,
+    /// The exact optimal schedule, found by the memoized branch-and-bound
+    /// search with the given node budget. The grid cell fails with a budget
+    /// error instead of silently reporting a sub-optimal lifetime.
+    Optimal {
+        /// The search's node budget (decision nodes).
+        budget: usize,
+    },
 }
 
 impl PolicyKind {
-    /// All built-in policies.
+    /// The optimal policy with the search's default node budget.
+    #[must_use]
+    pub fn optimal() -> Self {
+        PolicyKind::Optimal { budget: battery_sched::optimal::DEFAULT_BUDGET }
+    }
+
+    /// The three deterministic policies of the paper's Table 5.
     #[must_use]
     pub fn all() -> [PolicyKind; 3] {
         [PolicyKind::Sequential, PolicyKind::RoundRobin, PolicyKind::BestOfTwo]
@@ -161,20 +175,59 @@ impl PolicyKind {
             PolicyKind::Sequential => "sequential",
             PolicyKind::RoundRobin => "round-robin",
             PolicyKind::BestOfTwo => "best-of-two",
+            PolicyKind::Optimal { .. } => "optimal",
         }
     }
 
-    /// Instantiates the policy.
+    /// Instantiates a deterministic policy, or `None` for
+    /// [`PolicyKind::Optimal`], which is a search rather than a step-by-step
+    /// policy (the runner dispatches it to the optimal scheduler).
     #[must_use]
-    pub fn build(&self) -> Box<dyn SchedulingPolicy> {
+    pub fn build(&self) -> Option<Box<dyn SchedulingPolicy>> {
         match self {
-            PolicyKind::Sequential => Box::new(Sequential::new()),
-            PolicyKind::RoundRobin => Box::new(RoundRobin::new()),
-            PolicyKind::BestOfTwo => Box::new(BestAvailable::new()),
+            PolicyKind::Sequential => Some(Box::new(Sequential::new())),
+            PolicyKind::RoundRobin => Some(Box::new(RoundRobin::new())),
+            PolicyKind::BestOfTwo => Some(Box::new(BestAvailable::new())),
+            PolicyKind::Optimal { .. } => None,
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        match self {
+            PolicyKind::Optimal { budget } => {
+                #[allow(clippy::cast_precision_loss)]
+                let budget = budget as f64;
+                JsonValue::object(vec![
+                    ("kind", JsonValue::String("optimal".to_owned())),
+                    ("budget", JsonValue::Number(budget)),
+                ])
+            }
+            deterministic => JsonValue::String(deterministic.name().to_owned()),
+        }
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+        if let Some(name) = value.as_str() {
+            return Self::from_name(name);
+        }
+        match value.get("kind").and_then(JsonValue::as_str) {
+            Some("optimal") => {
+                let budget = value
+                    .get("budget")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| missing("budget"))?;
+                #[allow(clippy::cast_possible_truncation)]
+                Ok(PolicyKind::Optimal { budget: budget as usize })
+            }
+            Some(other) => Err(EngineError::InvalidSpec(format!("unknown policy kind '{other}'"))),
+            None => Err(EngineError::InvalidSpec("a policy must be a name or an object".into())),
         }
     }
 
     fn from_name(name: &str) -> Result<Self, EngineError> {
+        if name == "optimal" {
+            return Ok(PolicyKind::optimal());
+        }
         PolicyKind::all()
             .into_iter()
             .find(|p| p.name() == name)
@@ -230,15 +283,50 @@ pub enum LoadSpec {
         /// Whether the epoch pattern repeats forever.
         cyclic: bool,
     },
+    /// A seeded random load (see [`workload::random::RandomLoadSpec`]): a
+    /// finite sequence of jobs whose currents are drawn uniformly from
+    /// `currents`. This is the compact axis for large random-workload
+    /// sweeps — a 10⁵-cell grid stores one seed per load instead of the
+    /// expanded epochs.
+    Random {
+        /// Display name of the load (e.g. `"rand-42"`).
+        name: String,
+        /// The generator seed; equal seeds produce equal loads. Seeds
+        /// round-trip through JSON exactly up to 2⁵³ (JSON numbers).
+        seed: u64,
+        /// Candidate job currents in A.
+        currents: Vec<f64>,
+        /// Duration of each job in minutes.
+        job_duration: f64,
+        /// Idle time after each job in minutes (zero for back-to-back jobs).
+        idle_duration: f64,
+        /// Number of jobs.
+        job_count: usize,
+    },
 }
 
 impl LoadSpec {
+    /// A random-load cell for seed sweeps: jobs draw uniformly from the
+    /// paper's two current levels (250/500 mA), one minute each with one
+    /// minute of idle time after, mirroring the `ILs r1`/`ILs r2` structure.
+    #[must_use]
+    pub fn random_paper_levels(seed: u64, job_count: usize) -> Self {
+        LoadSpec::Random {
+            name: format!("rand-{seed}"),
+            seed,
+            currents: vec![0.25, 0.5],
+            job_duration: 1.0,
+            idle_duration: 1.0,
+            job_count,
+        }
+    }
+
     /// The load's display name.
     #[must_use]
     pub fn name(&self) -> String {
         match self {
             LoadSpec::Paper(load) => load.name().to_owned(),
-            LoadSpec::Custom { name, .. } => name.clone(),
+            LoadSpec::Custom { name, .. } | LoadSpec::Random { name, .. } => name.clone(),
         }
     }
 
@@ -246,7 +334,8 @@ impl LoadSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Workload`] for invalid custom epochs.
+    /// Returns [`EngineError::Workload`] for invalid custom epochs or random
+    /// parameters.
     pub fn profile(&self) -> Result<LoadProfile, EngineError> {
         match self {
             LoadSpec::Paper(load) => Ok(load.profile()),
@@ -256,6 +345,15 @@ impl LoadSpec {
                     builder = builder.job(current, duration);
                 }
                 Ok(if *cyclic { builder.build_cyclic()? } else { builder.build_finite()? })
+            }
+            LoadSpec::Random { seed, currents, job_duration, idle_duration, job_count, .. } => {
+                let spec = RandomLoadSpec::new(
+                    currents.clone(),
+                    *job_duration,
+                    *idle_duration,
+                    *job_count,
+                )?;
+                Ok(spec.generate(*seed)?)
             }
         }
     }
@@ -285,6 +383,24 @@ impl LoadSpec {
                 ),
                 ("cyclic", JsonValue::Bool(*cyclic)),
             ]),
+            LoadSpec::Random { name, seed, currents, job_duration, idle_duration, job_count } => {
+                #[allow(clippy::cast_precision_loss)]
+                let seed = *seed as f64;
+                #[allow(clippy::cast_precision_loss)]
+                let job_count = *job_count as f64;
+                JsonValue::object(vec![
+                    ("kind", JsonValue::String("random".to_owned())),
+                    ("name", JsonValue::String(name.clone())),
+                    ("seed", JsonValue::Number(seed)),
+                    (
+                        "currents",
+                        JsonValue::Array(currents.iter().map(|&c| JsonValue::Number(c)).collect()),
+                    ),
+                    ("job_duration", JsonValue::Number(*job_duration)),
+                    ("idle_duration", JsonValue::Number(*idle_duration)),
+                    ("job_count", JsonValue::Number(job_count)),
+                ])
+            }
         }
     }
 
@@ -324,6 +440,31 @@ impl LoadSpec {
                         .get("cyclic")
                         .and_then(JsonValue::as_bool)
                         .ok_or_else(|| missing("cyclic"))?,
+                })
+            }
+            "random" => {
+                let currents = value
+                    .get("currents")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| missing("currents"))?
+                    .iter()
+                    .map(|c| c.as_f64().ok_or_else(|| missing("currents entry")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let job_count = value
+                    .get("job_count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| missing("job_count"))?;
+                #[allow(clippy::cast_possible_truncation)]
+                Ok(LoadSpec::Random {
+                    name: require_str(value, "name")?.to_owned(),
+                    seed: value
+                        .get("seed")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| missing("seed"))?,
+                    currents,
+                    job_duration: require_f64(value, "job_duration")?,
+                    idle_duration: require_f64(value, "idle_duration")?,
+                    job_count: job_count as usize,
                 })
             }
             other => Err(EngineError::InvalidSpec(format!("unknown load kind '{other}'"))),
@@ -433,12 +574,7 @@ impl ScenarioSpec {
                 ),
             ),
             ("loads", JsonValue::Array(self.loads.iter().map(LoadSpec::to_json).collect())),
-            (
-                "policies",
-                JsonValue::Array(
-                    self.policies.iter().map(|p| JsonValue::String(p.name().to_owned())).collect(),
-                ),
-            ),
+            ("policies", JsonValue::Array(self.policies.iter().map(|p| p.to_json()).collect())),
             (
                 "backends",
                 JsonValue::Array(
@@ -485,7 +621,7 @@ impl ScenarioSpec {
                 .collect::<Result<_, _>>()?,
             policies: require_array(value, "policies")?
                 .iter()
-                .map(|p| PolicyKind::from_name(p.as_str().unwrap_or_default()))
+                .map(PolicyKind::from_json)
                 .collect::<Result<_, _>>()?,
             backends: require_array(value, "backends")?
                 .iter()
@@ -574,9 +710,32 @@ mod tests {
             epochs: vec![(0.3, 0.5), (0.0, 1.5)],
             cyclic: true,
         });
+        spec.loads.push(LoadSpec::random_paper_levels(42, 50));
+        spec.policies.push(PolicyKind::Optimal { budget: 123_456 });
         let json = spec.to_json().unwrap();
         let back = ScenarioSpec::from_json(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn optimal_policy_parses_from_plain_name_with_default_budget() {
+        let json = ScenarioSpec::paper_table5().to_json().unwrap();
+        let with_optimal = json.replace("\"round-robin\"", "\"optimal\"");
+        let spec = ScenarioSpec::from_json(&with_optimal).unwrap();
+        assert!(spec.policies.contains(&PolicyKind::optimal()));
+        assert_eq!(PolicyKind::optimal().name(), "optimal");
+        assert!(PolicyKind::optimal().build().is_none(), "optimal is a search, not a policy");
+    }
+
+    #[test]
+    fn random_load_generates_deterministically() {
+        let load = LoadSpec::random_paper_levels(7, 30);
+        assert_eq!(load.name(), "rand-7");
+        let a = load.profile().unwrap();
+        let b = load.profile().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.jobs_per_pattern(), 30);
+        assert!(!a.is_cyclic(), "random sweep loads are finite");
     }
 
     #[test]
