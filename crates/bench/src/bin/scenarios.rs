@@ -1,6 +1,6 @@
 //! Scenario-grid benchmarks through the parallel scenario engine.
 //!
-//! Three grids, all machine-readable so future sessions can diff the
+//! Four grids, all machine-readable so future sessions can diff the
 //! performance and accuracy trajectory:
 //!
 //! * **Paper grid** (always): the Table 5 experiment — 1 battery type (B1)
@@ -10,24 +10,35 @@
 //!   with branch-and-bound node counts, written to `BENCH_optimal.json`;
 //!   also prints the seed (pruning-disabled) search next to the memoized
 //!   one. `--max-nodes N` turns the node counts into a CI gate.
+//! * **Fleet grid** (`--fleet B1+B1+B2` / `--fleet 2xB1+B2`): a
+//!   heterogeneous fleet on the coarse grid, deterministic policies next to
+//!   the optimal search, written to `BENCH_fleet.json`. The `--max-nodes`
+//!   ceiling applies to these searches too, so CI gates mixed-fleet search
+//!   regressions alongside uniform ones.
 //! * **Random grid** (`--random-cells N`): a seed sweep over
 //!   `RandomLoadSpec` loads, **streamed** to `BENCH_random_grid.json` while
 //!   the grid runs — a 10⁴–10⁵-cell sweep never materializes its results in
-//!   memory.
+//!   memory. `--analyze` then summarizes the streamed file (policy means,
+//!   best-of-two-vs-round-robin gap counts) and re-runs a coarse sub-grid
+//!   of the seeds with the optimal search to count optimal-vs-best-of-two
+//!   gaps — the seed of the Section 7 random-workload study.
 //!
 //! ```text
 //! scenarios [OUT] [--threads N]
 //!           [--optimal] [--optimal-out PATH] [--max-nodes N]
+//!           [--fleet SPEC] [--fleet-out PATH]
 //!           [--random-cells N] [--random-jobs N] [--random-out PATH]
+//!           [--analyze] [--analyze-seeds N]
 //!           [--chunk N]   # work-chunk size of the streamed random grid
 //! ```
 
 use battery_sched::optimal::OptimalScheduler;
 use battery_sched::system::SystemConfig;
 use dkibam::Discretization;
+use engine::json::JsonValue;
 use engine::{
-    results_to_json, run_grid_streaming, run_grid_with_threads, BackendKind, BatterySpec, DiscSpec,
-    LoadSpec, PolicyKind, ScenarioSpec,
+    results_from_json, results_to_json, run_grid_streaming, run_grid_with_threads, BackendKind,
+    BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, ScenarioSpec,
 };
 use kibam::BatteryParams;
 use std::time::Instant;
@@ -40,9 +51,13 @@ struct Options {
     optimal: bool,
     optimal_out: String,
     max_nodes: Option<u64>,
+    fleet: Option<FleetDef>,
+    fleet_out: String,
     random_cells: Option<usize>,
     random_jobs: usize,
     random_out: String,
+    analyze: bool,
+    analyze_seeds: usize,
 }
 
 fn parse_options() -> Options {
@@ -53,9 +68,13 @@ fn parse_options() -> Options {
         optimal: false,
         optimal_out: "BENCH_optimal.json".to_owned(),
         max_nodes: None,
+        fleet: None,
+        fleet_out: "BENCH_fleet.json".to_owned(),
         random_cells: None,
         random_jobs: 50,
         random_out: "BENCH_random_grid.json".to_owned(),
+        analyze: false,
+        analyze_seeds: 12,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,9 +90,13 @@ fn parse_options() -> Options {
             "--optimal" => options.optimal = true,
             "--optimal-out" => options.optimal_out = value("--optimal-out"),
             "--max-nodes" => options.max_nodes = Some(parse(&value("--max-nodes"))),
+            "--fleet" => options.fleet = Some(parse_fleet(&value("--fleet"))),
+            "--fleet-out" => options.fleet_out = value("--fleet-out"),
             "--random-cells" => options.random_cells = Some(parse(&value("--random-cells"))),
             "--random-jobs" => options.random_jobs = parse(&value("--random-jobs")),
             "--random-out" => options.random_out = value("--random-out"),
+            "--analyze" => options.analyze = true,
+            "--analyze-seeds" => options.analyze_seeds = parse(&value("--analyze-seeds")),
             other if !other.starts_with("--") => options.out = other.to_owned(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -91,6 +114,37 @@ fn parse<T: std::str::FromStr>(text: &str) -> T {
     })
 }
 
+/// Parses a `--fleet` spec like `B1+B2`, `B1+B1+B2` or `2xB1+B2` into a
+/// [`FleetDef`]: `+`-separated terms, each a battery name (`B1`/`B2`)
+/// optionally prefixed with a `Nx` multiplier.
+fn parse_fleet(text: &str) -> FleetDef {
+    let mut batteries = Vec::new();
+    for term in text.split('+') {
+        let (count, name) = match term.split_once('x') {
+            Some((count, name)) => (parse::<usize>(count), name),
+            None => (1, term),
+        };
+        let battery = match name {
+            "B1" => BatterySpec::b1(),
+            "B2" => BatterySpec::b2(),
+            other => {
+                eprintln!("unknown battery '{other}' in --fleet (expected B1 or B2)");
+                std::process::exit(2);
+            }
+        };
+        if count == 0 {
+            eprintln!("--fleet multiplier must be positive in '{term}'");
+            std::process::exit(2);
+        }
+        batteries.extend(vec![battery; count]);
+    }
+    if batteries.is_empty() {
+        eprintln!("--fleet needs at least one battery");
+        std::process::exit(2);
+    }
+    FleetDef::mixed(batteries)
+}
+
 fn main() {
     let options = parse_options();
     run_paper_grid(&options);
@@ -98,8 +152,14 @@ fn main() {
         run_optimal_grid(&options);
         print_seed_vs_memoized();
     }
+    if let Some(fleet) = &options.fleet {
+        run_fleet_grid(&options, fleet.clone());
+    }
     if let Some(cells) = options.random_cells {
         run_random_grid(&options, cells);
+    }
+    if options.analyze {
+        run_analyze(&options);
     }
 }
 
@@ -147,34 +207,15 @@ fn run_paper_grid(options: &Options) {
     println!("wrote {} bytes to {}\n", json.len(), options.out);
 }
 
-/// Optimal-vs-policy on the coarse grid, with node counts; the node ceiling
-/// (`--max-nodes`) makes this the CI regression gate for the search.
-fn run_optimal_grid(options: &Options) {
-    let spec = ScenarioSpec {
-        batteries: vec![BatterySpec::b1()],
-        battery_counts: vec![2],
-        discretizations: vec![DiscSpec::coarse()],
-        loads: vec![
-            LoadSpec::Paper(TestLoad::Cl500),
-            LoadSpec::Paper(TestLoad::Ils500),
-            LoadSpec::Paper(TestLoad::IlsAlt),
-            LoadSpec::Paper(TestLoad::Ils250),
-        ],
-        policies: vec![
-            PolicyKind::Sequential,
-            PolicyKind::RoundRobin,
-            PolicyKind::BestOfTwo,
-            PolicyKind::optimal(),
-        ],
-        backends: vec![BackendKind::Discretized],
-    };
-    println!("optimal grid (coarse): {} scenarios", spec.scenario_count());
-
+/// Runs a coarse-grid spec with optimal cells, prints the node counts and
+/// enforces the `--max-nodes` ceiling. Shared by the optimal and the fleet
+/// grids.
+fn run_gated_grid(options: &Options, spec: &ScenarioSpec, what: &str, out_path: &str) {
     let start = Instant::now();
-    let results = match run_grid_with_threads(&spec, options.threads) {
+    let results = match run_grid_with_threads(spec, options.threads) {
         Ok(results) => results,
         Err(error) => {
-            eprintln!("optimal grid failed: {error}");
+            eprintln!("{what} failed: {error}");
             std::process::exit(1);
         }
     };
@@ -205,12 +246,12 @@ fn run_optimal_grid(options: &Options) {
         );
     }
 
-    let json = results_to_json(&spec, &results).expect("optimal results serialize");
-    if let Err(error) = std::fs::write(&options.optimal_out, &json) {
-        eprintln!("cannot write {}: {error}", options.optimal_out);
+    let json = results_to_json(spec, &results).expect("results serialize");
+    if let Err(error) = std::fs::write(out_path, &json) {
+        eprintln!("cannot write {out_path}: {error}");
         std::process::exit(1);
     }
-    println!("wrote {} bytes to {}\n", json.len(), options.optimal_out);
+    println!("wrote {} bytes to {out_path}\n", json.len());
 
     if let Some(ceiling) = options.max_nodes {
         if worst_nodes > ceiling {
@@ -222,6 +263,53 @@ fn run_optimal_grid(options: &Options) {
         }
         println!("node gate ok: worst search {worst_nodes} <= ceiling {ceiling}\n");
     }
+}
+
+/// Optimal-vs-policy on the coarse grid, with node counts; the node ceiling
+/// (`--max-nodes`) makes this the CI regression gate for the search.
+fn run_optimal_grid(options: &Options) {
+    let spec = ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        fleets: vec![],
+        discretizations: vec![DiscSpec::coarse()],
+        loads: vec![
+            LoadSpec::Paper(TestLoad::Cl500),
+            LoadSpec::Paper(TestLoad::Ils500),
+            LoadSpec::Paper(TestLoad::IlsAlt),
+            LoadSpec::Paper(TestLoad::Ils250),
+        ],
+        policies: vec![
+            PolicyKind::Sequential,
+            PolicyKind::RoundRobin,
+            PolicyKind::BestOfTwo,
+            PolicyKind::optimal(),
+        ],
+        backends: vec![BackendKind::Discretized],
+    };
+    println!("optimal grid (coarse): {} scenarios", spec.scenario_count());
+    run_gated_grid(options, &spec, "optimal grid", &options.optimal_out);
+}
+
+/// A heterogeneous fleet on the coarse grid: deterministic policies next to
+/// the optimal search, under the same node ceiling as the uniform grid.
+fn run_fleet_grid(options: &Options, fleet: FleetDef) {
+    let spec = ScenarioSpec {
+        batteries: vec![],
+        battery_counts: vec![],
+        fleets: vec![fleet.clone()],
+        discretizations: vec![DiscSpec::coarse()],
+        loads: vec![LoadSpec::Paper(TestLoad::Cl500), LoadSpec::Paper(TestLoad::IlsAlt)],
+        policies: vec![
+            PolicyKind::Sequential,
+            PolicyKind::RoundRobin,
+            PolicyKind::BestOfTwo,
+            PolicyKind::optimal(),
+        ],
+        backends: vec![BackendKind::Discretized],
+    };
+    println!("fleet grid (coarse, {}): {} scenarios", fleet.name, spec.scenario_count());
+    run_gated_grid(options, &spec, "fleet grid", &options.fleet_out);
 }
 
 /// Prints the seed search (pruning disabled — PR 1 behaviour) next to the
@@ -268,6 +356,7 @@ fn run_random_grid(options: &Options, cells: usize) {
     let spec = ScenarioSpec {
         batteries: vec![BatterySpec::b1()],
         battery_counts: vec![2],
+        fleets: vec![],
         discretizations: vec![DiscSpec::paper()],
         loads: (0..seeds as u64)
             .map(|seed| LoadSpec::random_paper_levels(seed, options.random_jobs))
@@ -307,4 +396,125 @@ fn run_random_grid(options: &Options, cells: usize) {
             std::process::exit(1);
         }
     }
+}
+
+/// Per-load lifetimes of the streamed random grid, keyed by policy name.
+fn lifetimes_by_policy(rows: &[JsonValue]) -> Vec<(String, Vec<(String, f64)>)> {
+    let mut policies: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for row in rows {
+        let (Some(load), Some(policy), Some(lifetime)) = (
+            row.get("load").and_then(JsonValue::as_str),
+            row.get("policy").and_then(JsonValue::as_str),
+            row.get("lifetime_minutes").and_then(JsonValue::as_f64),
+        ) else {
+            continue;
+        };
+        match policies.iter_mut().find(|(name, _)| name == policy) {
+            Some((_, cells)) => cells.push((load.to_owned(), lifetime)),
+            None => policies.push((policy.to_owned(), vec![(load.to_owned(), lifetime)])),
+        }
+    }
+    policies
+}
+
+/// Summarizes the streamed random grid (`--random-out`): per-policy mean
+/// lifetimes, best-of-two-vs-round-robin gap counts, and an
+/// optimal-vs-best-of-two comparison on a coarse sub-grid of the seeds —
+/// the random-workload study of the Section 7 outlook, in stub form.
+fn run_analyze(options: &Options) {
+    let text = match std::fs::read_to_string(&options.random_out) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "cannot read {} (run with --random-cells first?): {error}",
+                options.random_out
+            );
+            std::process::exit(1);
+        }
+    };
+    let (spec, rows) = match results_from_json(&text) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("cannot parse {}: {error}", options.random_out);
+            std::process::exit(1);
+        }
+    };
+
+    let policies = lifetimes_by_policy(&rows);
+    println!("analyze: {} result rows from {}", rows.len(), options.random_out);
+    for (policy, cells) in &policies {
+        #[allow(clippy::cast_precision_loss)]
+        let mean = cells.iter().map(|(_, m)| m).sum::<f64>() / cells.len().max(1) as f64;
+        println!("  {policy:<14} {:>6} cells, mean lifetime {mean:.2} min", cells.len());
+    }
+
+    // Best-of-two vs round-robin, matched per load.
+    let find = |name: &str| policies.iter().find(|(p, _)| p == name).map(|(_, c)| c);
+    if let (Some(rr), Some(best)) = (find("round-robin"), find("best-of-two")) {
+        let mut better = 0usize;
+        let mut matched = 0usize;
+        let mut max_gain = 0.0f64;
+        for (load, best_lifetime) in best {
+            let Some((_, rr_lifetime)) = rr.iter().find(|(l, _)| l == load) else { continue };
+            matched += 1;
+            if best_lifetime > &(rr_lifetime + 1e-9) {
+                better += 1;
+                max_gain = max_gain.max((best_lifetime - rr_lifetime) / rr_lifetime);
+            }
+        }
+        println!(
+            "  best-of-two beats round-robin on {better}/{matched} random loads \
+             (max gain {:.1}%)",
+            max_gain * 100.0
+        );
+    }
+
+    // Optimal-vs-best-of-two on a coarse sub-grid of the same seeds: the
+    // paper grid is too fine for exhaustive search, so the sub-grid answers
+    // the qualitative question (how often does the best deterministic
+    // policy already achieve the optimum on random loads?).
+    let sub_loads: Vec<LoadSpec> = spec.loads.iter().take(options.analyze_seeds).cloned().collect();
+    if sub_loads.is_empty() {
+        println!("  (no random loads in the document; skipping the optimal sub-grid)");
+        return;
+    }
+    let sub_spec = ScenarioSpec {
+        batteries: spec.batteries.clone(),
+        battery_counts: spec.battery_counts.clone(),
+        fleets: spec.fleets.clone(),
+        discretizations: vec![DiscSpec::coarse()],
+        loads: sub_loads,
+        policies: vec![PolicyKind::BestOfTwo, PolicyKind::optimal()],
+        backends: vec![BackendKind::Discretized],
+    };
+    let start = Instant::now();
+    let results = match run_grid_with_threads(&sub_spec, options.threads) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("optimal sub-grid failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    let mut gaps = 0usize;
+    let mut seeds = 0usize;
+    let mut max_gap = 0.0f64;
+    for pair in results.chunks(2) {
+        let [best, optimal] = pair else { continue };
+        let (Some(best_lifetime), Some(optimal_lifetime)) =
+            (best.lifetime_minutes, optimal.lifetime_minutes)
+        else {
+            continue;
+        };
+        seeds += 1;
+        if optimal_lifetime > best_lifetime + 1e-9 {
+            gaps += 1;
+            max_gap = max_gap.max((optimal_lifetime - best_lifetime) / best_lifetime);
+        }
+    }
+    println!(
+        "  coarse sub-grid ({seeds} seeds, {:.2?}): optimal beats best-of-two on \
+         {gaps}/{seeds} loads (max gap {:.1}%)",
+        start.elapsed(),
+        max_gap * 100.0
+    );
 }

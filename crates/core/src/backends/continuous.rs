@@ -9,13 +9,16 @@
 //! in the discretized model and the paper's TA encoding: the battery is
 //! retired at the first draw instant at or after the continuous
 //! time-to-empty crossing.
+//!
+//! The backend is fleet-aware: every cell evolves under its own battery's
+//! parameters, so heterogeneous (e.g. B1 + B2) systems work unchanged.
 
 use crate::model::{BatteryModel, ModelAdvance};
 use crate::schedule::BatteryCharge;
 use crate::SchedError;
 use dkibam::Discretization;
 use kibam::analytic::{evolve, time_to_empty};
-use kibam::{BatteryParams, TransformedState};
+use kibam::{BatteryParams, FleetSpec, TransformedState};
 
 /// One battery of the continuous backend: its transformed state plus the
 /// sticky observed-empty flag of Section 4.3.
@@ -30,7 +33,7 @@ pub struct ContinuousCell {
 /// The continuous KiBaM of Section 2.2 as a [`BatteryModel`] backend.
 #[derive(Debug, Clone)]
 pub struct ContinuousKibam {
-    params: BatteryParams,
+    fleet: FleetSpec,
     disc: Discretization,
     cells: Vec<ContinuousCell>,
 }
@@ -41,10 +44,30 @@ impl ContinuousKibam {
     /// The [`Discretization`] defines the time base: the engine hands this
     /// backend durations in time steps, and the draw patterns of the
     /// discretized load are converted back to constant currents with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero; use [`ContinuousKibam::from_fleet`] with a
+    /// validated [`FleetSpec`] to handle the error explicitly.
     #[must_use]
     pub fn new(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
-        let full = ContinuousCell { state: TransformedState::full(params), observed_empty: false };
-        Self { params: *params, disc: *disc, cells: vec![full; count] }
+        let fleet = FleetSpec::uniform(*params, count).expect("battery count must be positive");
+        Self::from_fleet(&fleet, disc)
+    }
+
+    /// Creates a freshly charged system from a (possibly heterogeneous)
+    /// fleet.
+    #[must_use]
+    pub fn from_fleet(fleet: &FleetSpec, disc: &Discretization) -> Self {
+        let cells = fleet
+            .params()
+            .iter()
+            .map(|params| ContinuousCell {
+                state: TransformedState::full(params),
+                observed_empty: false,
+            })
+            .collect();
+        Self { fleet: fleet.clone(), disc: *disc, cells }
     }
 
     /// The per-battery states, in index order.
@@ -53,10 +76,10 @@ impl ContinuousKibam {
         &self.cells
     }
 
-    /// The battery parameters.
+    /// The fleet description.
     #[must_use]
-    pub fn params(&self) -> &BatteryParams {
-        &self.params
+    pub fn fleet(&self) -> &FleetSpec {
+        &self.fleet
     }
 
     /// Evolves every battery except `active` (pass `None` for an idle
@@ -64,7 +87,7 @@ impl ContinuousKibam {
     fn recover_others(&mut self, active: Option<usize>, minutes: f64) {
         for (index, cell) in self.cells.iter_mut().enumerate() {
             if Some(index) != active {
-                cell.state = evolve(&self.params, cell.state, 0.0, minutes)
+                cell.state = evolve(self.fleet.battery(index), cell.state, 0.0, minutes)
                     .expect("zero current and non-negative durations are always valid");
             }
         }
@@ -82,10 +105,14 @@ impl BatteryModel for ContinuousKibam {
         self.cells.len()
     }
 
+    fn type_of(&self, index: usize) -> usize {
+        self.fleet.type_of(index)
+    }
+
     fn reset(&mut self) {
-        let full =
-            ContinuousCell { state: TransformedState::full(&self.params), observed_empty: false };
-        self.cells.fill(full);
+        for (cell, params) in self.cells.iter_mut().zip(self.fleet.params()) {
+            *cell = ContinuousCell { state: TransformedState::full(params), observed_empty: false };
+        }
     }
 
     fn save_state(&self) -> Vec<ContinuousCell> {
@@ -107,7 +134,7 @@ impl BatteryModel for ContinuousKibam {
 
     fn is_empty(&self, index: usize) -> bool {
         let cell = &self.cells[index];
-        cell.observed_empty || cell.state.is_empty(&self.params)
+        cell.observed_empty || cell.state.is_empty(self.fleet.battery(index))
     }
 
     fn charge(&self, index: usize) -> BatteryCharge {
@@ -117,7 +144,7 @@ impl BatteryModel for ContinuousKibam {
         // clamp so consumers always see non-negative charge.
         BatteryCharge {
             total: state.gamma.max(0.0),
-            available: state.available_charge(&self.params),
+            available: state.available_charge(self.fleet.battery(index)),
         }
     }
 
@@ -126,7 +153,7 @@ impl BatteryModel for ContinuousKibam {
     }
 
     fn states_identical(&self, a: usize, b: usize) -> bool {
-        self.cells[a] == self.cells[b]
+        self.fleet.type_of(a) == self.fleet.type_of(b) && self.cells[a] == self.cells[b]
     }
 
     fn advance_idle(&mut self, steps: u64) {
@@ -154,12 +181,13 @@ impl BatteryModel for ContinuousKibam {
             return Ok(ModelAdvance { steps_consumed: 0, completed: false });
         }
 
+        let params = *self.fleet.battery(active);
         let time_step = self.disc.time_step();
         let interval_minutes = f64::from(draw_interval_steps) * time_step;
         let current = f64::from(units_per_draw) * self.disc.charge_unit() / interval_minutes;
         let duration = steps as f64 * time_step;
 
-        let crossing = time_to_empty(&self.params, self.cells[active].state, current)?;
+        let crossing = time_to_empty(&params, self.cells[active].state, current)?;
         // The battery is *observed* empty at the first draw instant at or
         // after the continuous empty crossing; if that instant lies beyond
         // this job portion, the portion completes and the emptiness is
@@ -175,14 +203,14 @@ impl BatteryModel for ContinuousKibam {
             Some(observed_steps) if observed_steps <= steps => {
                 let minutes = observed_steps as f64 * time_step;
                 self.cells[active].state =
-                    evolve(&self.params, self.cells[active].state, current, minutes)?;
+                    evolve(&params, self.cells[active].state, current, minutes)?;
                 self.cells[active].observed_empty = true;
                 self.recover_others(Some(active), minutes);
                 Ok(ModelAdvance { steps_consumed: observed_steps, completed: false })
             }
             _ => {
                 self.cells[active].state =
-                    evolve(&self.params, self.cells[active].state, current, duration)?;
+                    evolve(&params, self.cells[active].state, current, duration)?;
                 self.recover_others(Some(active), duration);
                 Ok(ModelAdvance { steps_consumed: steps, completed: true })
             }
@@ -255,5 +283,29 @@ mod tests {
         let again = model.advance_job(0, 100, 2, 1).unwrap();
         assert_eq!(again.steps_consumed, 0);
         assert!(!again.completed);
+    }
+
+    #[test]
+    fn mixed_fleet_evolves_each_battery_under_its_own_parameters() {
+        let fleet =
+            FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap();
+        let mut model = ContinuousKibam::from_fleet(&fleet, &Discretization::paper_default());
+        assert!(!model.states_identical(0, 1), "different types are never symmetric");
+        assert!((model.total_charge() - 16.5).abs() < 1e-9);
+        // The B1 dies under sustained 500 mA around its Table 3 lifetime;
+        // the B2 then serves roughly twice as long (Table 4: 4.82 min).
+        let b1_death = model.advance_job(0, 100_000, 2, 1).unwrap();
+        assert!(!b1_death.completed);
+        let b2_death = model.advance_job(1, 100_000, 2, 1).unwrap();
+        assert!(!b2_death.completed);
+        assert!(
+            b2_death.steps_consumed > b1_death.steps_consumed,
+            "the larger B2 outlives the B1 under the same load"
+        );
+        assert_eq!(model.type_of(0), 0);
+        assert_eq!(model.type_of(1), 1);
+        // Reset restores per-battery capacities.
+        model.reset();
+        assert!((model.total_charge() - 16.5).abs() < 1e-9);
     }
 }

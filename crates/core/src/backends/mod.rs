@@ -1,19 +1,26 @@
 //! Battery-model backends implementing [`crate::model::BatteryModel`].
 //!
-//! Two backends ship with the crate:
+//! Three backends ship with the crate, all constructible from a
+//! heterogeneous [`kibam::FleetSpec`] (with a uniform `params × count`
+//! convenience constructor):
 //!
 //! * [`DiscretizedKibam`] — the discretized KiBaM of Section 2.3 (integer
-//!   charge and height units, precomputed recovery table). This is the model
-//!   the paper's TA encoding explores and the default for all Table 5
-//!   experiments.
+//!   charge and height units, precomputed per-type recovery tables). This
+//!   is the model the paper's TA encoding explores and the default for all
+//!   Table 5 experiments.
 //! * [`ContinuousKibam`] — the closed-form continuous KiBaM of Section 2.2.
 //!   Jobs become constant-current intervals solved analytically, which makes
 //!   stepping cost independent of the discretization and provides an
 //!   independent cross-check of the discretized results (the ~1–2 %
 //!   agreement of Tables 3 and 4).
+//! * [`IdealBattery`] — a linear battery with no rate-capacity or recovery
+//!   effect: the cross-model baseline that isolates how much the KiBaM
+//!   nonlinearities cost on a given load.
 
 mod continuous;
 mod discrete;
+mod ideal;
 
 pub use continuous::{ContinuousCell, ContinuousKibam};
 pub use discrete::DiscretizedKibam;
+pub use ideal::{IdealBattery, IdealCell};

@@ -7,12 +7,19 @@
 //! battery should serve each job so that the system as a whole lives as long
 //! as possible?**
 //!
+//! The construction API is **fleet-first**: systems are described by a
+//! [`kibam::FleetSpec`] — an ordered list of per-battery parameters, so
+//! heterogeneous mixes like one B1 next to one B2 are first-class — with
+//! `params × count` convenience constructors for the paper's uniform
+//! systems.
+//!
 //! The crate provides:
 //!
 //! * the [`model::BatteryModel`] trait — the backend-agnostic
-//!   battery-stepping contract — with two backends:
-//!   [`backends::DiscretizedKibam`] (the paper's discretized model) and
-//!   [`backends::ContinuousKibam`] (closed-form analytic stepping);
+//!   battery-stepping contract — with three backends:
+//!   [`backends::DiscretizedKibam`] (the paper's discretized model),
+//!   [`backends::ContinuousKibam`] (closed-form analytic stepping) and
+//!   [`backends::IdealBattery`] (the linear cross-model baseline);
 //! * the three deterministic scheduling policies compared in the paper —
 //!   [`policy::Sequential`], [`policy::RoundRobin`] and
 //!   [`policy::BestAvailable`] ("best of two") — plus replay of explicit

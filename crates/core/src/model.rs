@@ -11,7 +11,13 @@
 //!   (integer charge/height units), the model behind Tables 3–5;
 //! * [`crate::backends::ContinuousKibam`] — the closed-form continuous KiBaM,
 //!   which cross-validates the discretization and is much cheaper to step
-//!   over long horizons.
+//!   over long horizons;
+//! * [`crate::backends::IdealBattery`] — the linear battery baseline with no
+//!   rate-capacity or recovery effect.
+//!
+//! Backends are built from a [`kibam::FleetSpec`] and may hold
+//! heterogeneous fleets; [`BatteryModel::type_of`] exposes the fleet's
+//! type groups so searches prune symmetry only within a group.
 //!
 //! Time is always measured in discrete *steps* of the [`Discretization`]
 //! that produced the load — the load's job boundaries and draw instants are
@@ -50,45 +56,66 @@ pub const MAX_KEY_BATTERIES: usize = 4;
 /// state, used by search schedulers as a transposition-table key.
 ///
 /// The backend packs each battery's dynamic state into one opaque `u128`
-/// word (equal words ⇔ equal states); the key sorts the words so that
-/// permutations of identical batteries — which have identical futures —
-/// collide in the table.
+/// word (equal words ⇔ equal states) tagged with the battery's *type-group*
+/// id (see [`kibam::FleetSpec`]); the key sorts the `(type, word)` pairs so
+/// that permutations of identical-type batteries — which have identical
+/// futures — collide in the table, while batteries of different types never
+/// exchange positions: a drained B1 next to a fresh B2 and a fresh B1 next
+/// to a drained B2 keep distinct keys. Uniform fleets tag every battery
+/// with type 0, which reduces to a plain global sort (bit-identical to the
+/// homogeneous-key behaviour this key type replaced).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StateKey {
     len: u8,
+    types: [u8; MAX_KEY_BATTERIES],
     words: [u128; MAX_KEY_BATTERIES],
 }
 
-// Hash only the occupied words: unused slots are always zero, so equality
-// over the full array coincides with equality over `words[..len]`, and
+// Hash only the occupied slots: unused slots are always zero, so equality
+// over the full arrays coincides with equality over the prefix, and
 // skipping the padding halves the hashing cost for two-battery systems (the
 // common case) on the search's per-node hot path.
 impl std::hash::Hash for StateKey {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         state.write_u8(self.len);
-        for word in self.words() {
-            state.write_u128(*word);
+        for i in 0..usize::from(self.len) {
+            state.write_u8(self.types[i]);
+            state.write_u128(self.words[i]);
         }
     }
 }
 
 impl StateKey {
-    /// Builds a canonical key from per-battery state words, or `None` if
-    /// there are more than [`MAX_KEY_BATTERIES`] of them. Unused slots stay
-    /// zero, so the derived `Eq`/`Hash` over the whole array are exact.
-    pub fn from_words(words: impl IntoIterator<Item = u128>) -> Option<Self> {
-        let mut buf = [0u128; MAX_KEY_BATTERIES];
+    /// Builds a canonical key from per-battery `(type-group id, state word)`
+    /// pairs, or `None` if there are more than [`MAX_KEY_BATTERIES`] of
+    /// them or a type id exceeds `u8::MAX` (fleets never assign that many
+    /// distinct types below the battery cap). Pairs are sorted by
+    /// `(type, word)`, so words permute only within their type group.
+    pub fn from_typed_words(pairs: impl IntoIterator<Item = (usize, u128)>) -> Option<Self> {
+        let mut buf = [(0u8, 0u128); MAX_KEY_BATTERIES];
         let mut len = 0usize;
-        for word in words {
+        for (type_id, word) in pairs {
             if len == MAX_KEY_BATTERIES {
                 return None;
             }
-            buf[len] = word;
+            buf[len] = (u8::try_from(type_id).ok()?, word);
             len += 1;
         }
         buf[..len].sort_unstable();
+        let mut types = [0u8; MAX_KEY_BATTERIES];
+        let mut words = [0u128; MAX_KEY_BATTERIES];
+        for (slot, &(type_id, word)) in buf[..len].iter().enumerate() {
+            types[slot] = type_id;
+            words[slot] = word;
+        }
         #[allow(clippy::cast_possible_truncation)]
-        Some(Self { len: len as u8, words: buf })
+        Some(Self { len: len as u8, types, words })
+    }
+
+    /// Builds a canonical key for a *uniform* fleet: every battery belongs
+    /// to type group 0, so the words sort globally.
+    pub fn from_words(words: impl IntoIterator<Item = u128>) -> Option<Self> {
+        Self::from_typed_words(words.into_iter().map(|word| (0, word)))
     }
 
     /// The number of battery words in the key.
@@ -103,10 +130,51 @@ impl StateKey {
         self.len == 0
     }
 
-    /// The canonical (sorted) per-battery state words.
+    /// The canonical (type-grouped, sorted-within-group) per-battery state
+    /// words.
     #[must_use]
     pub fn words(&self) -> &[u128] {
         &self.words[..usize::from(self.len)]
+    }
+
+    /// The type-group id of each canonical slot (non-decreasing).
+    #[must_use]
+    pub fn types(&self) -> &[u8] {
+        &self.types[..usize::from(self.len)]
+    }
+
+    /// Whether `self` and `other` describe fleets with the same type-group
+    /// layout (same battery count, same type id in every canonical slot).
+    /// Dominance comparisons are only meaningful within one layout; see
+    /// [`BatteryModel::key_dominates`].
+    #[must_use]
+    pub fn same_layout(&self, other: &StateKey) -> bool {
+        self.len == other.len && self.types() == other.types()
+    }
+
+    /// Slot-wise dominance between two same-layout keys, with the per-word
+    /// rule supplied by the backend. Both keys are sorted by `(type, word)`,
+    /// so within a type group, matching the i-th word of one key against
+    /// the i-th of the other is a valid witness schedule mapping for
+    /// identical battery types (any perfect matching would do — the sorted
+    /// pairing is the cheap one, and this runs on the search's per-node hot
+    /// path). Across type groups no pairing is meaningful — a B1 word never
+    /// dominates a B2 word — so mismatched layouts claim nothing
+    /// (`debug_assert` + `false`). Backends implement
+    /// [`BatteryModel::key_dominates`] with this helper so the layout guard
+    /// lives in exactly one place.
+    #[must_use]
+    pub fn dominates_pairwise(
+        &self,
+        other: &StateKey,
+        word_dominates: impl Fn(u128, u128) -> bool,
+    ) -> bool {
+        debug_assert!(
+            self.same_layout(other),
+            "key_dominates compared keys with different type-group layouts"
+        );
+        self.same_layout(other)
+            && self.words().iter().zip(other.words()).all(|(&x, &y)| word_dominates(x, y))
     }
 }
 
@@ -137,6 +205,16 @@ pub trait BatteryModel {
 
     /// The number of batteries in the system.
     fn battery_count(&self) -> usize;
+
+    /// The type-group id of battery `index`: batteries with identical
+    /// parameters share a group (see [`kibam::FleetSpec::type_of`]), and
+    /// only same-group batteries are interchangeable for symmetry pruning
+    /// and canonical state keys. The default declares every battery the
+    /// same type, which is exact for uniform fleets.
+    fn type_of(&self, index: usize) -> usize {
+        let _ = index;
+        0
+    }
 
     /// Returns every battery to the freshly-charged state.
     fn reset(&mut self);
@@ -190,7 +268,10 @@ pub trait BatteryModel {
     /// as good as the state behind key `b` — every schedule achievable from
     /// `b` is achievable (or bettered) from `a`, so a search need not expand
     /// `b` once `a` has been expanded from the same position. Both keys must
-    /// come from this backend's [`memo_key`](Self::memo_key). The
+    /// come from this backend's [`memo_key`](Self::memo_key), and therefore
+    /// share one type-group layout ([`StateKey::same_layout`]); comparing
+    /// keys across layouts would pair batteries of different types, so
+    /// implementations must refuse it (`debug_assert` + `false`). The
     /// conservative default claims nothing, which disables dominance pruning
     /// for the backend.
     fn key_dominates(&self, a: &StateKey, b: &StateKey) -> bool {
@@ -350,6 +431,35 @@ mod tests {
         );
         // Too many batteries: no key, so callers skip memoization.
         assert!(StateKey::from_words([0u128; MAX_KEY_BATTERIES + 1]).is_none());
+    }
+
+    #[test]
+    fn typed_state_keys_sort_only_within_type_groups() {
+        // All-type-0 keys reduce to the global sort of the uniform path.
+        let uniform = StateKey::from_words([3u128, 1]).unwrap();
+        let typed = StateKey::from_typed_words([(0usize, 3u128), (0, 1)]).unwrap();
+        assert_eq!(uniform, typed);
+
+        // Words never swap across type groups: a drained type-0 next to a
+        // fresh type-1 differs from the mirrored state.
+        let ab = StateKey::from_typed_words([(0usize, 3u128), (1, 1)]).unwrap();
+        let ba = StateKey::from_typed_words([(0usize, 1u128), (1, 3)]).unwrap();
+        assert_ne!(ab, ba);
+        assert!(ab.same_layout(&ba));
+        assert_eq!(ab.types(), &[0, 1]);
+
+        // Permutations within a type group still collide.
+        let x = StateKey::from_typed_words([(0usize, 5u128), (0, 2), (1, 9)]).unwrap();
+        let y = StateKey::from_typed_words([(0usize, 2u128), (0, 5), (1, 9)]).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(x.words(), &[2, 5, 9]);
+
+        // Different layouts never compare as the same fleet shape.
+        assert!(!uniform.same_layout(&ab));
+
+        // Type ids beyond u8 (and too many batteries) yield no key.
+        assert!(StateKey::from_typed_words([(usize::from(u8::MAX) + 1, 0u128)]).is_none());
+        assert!(StateKey::from_typed_words((0..5).map(|_| (0usize, 0u128))).is_none());
     }
 
     #[test]

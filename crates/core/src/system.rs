@@ -12,30 +12,32 @@
 //! entry points run it against the paper's discretized KiBaM, which keeps
 //! the original call sites unchanged.
 
-use crate::backends::{ContinuousKibam, DiscretizedKibam};
+use crate::backends::{ContinuousKibam, DiscretizedKibam, IdealBattery};
 use crate::model::BatteryModel;
 use crate::policy::{DecisionContext, SchedulingPolicy};
 use crate::schedule::{Assignment, BatteryCharge, Schedule, SystemTrace, SystemTracePoint};
 use crate::SchedError;
 use dkibam::{Discretization, DiscretizedLoad};
-use kibam::BatteryParams;
+use kibam::{BatteryParams, FleetSpec};
 use workload::LoadProfile;
 
 /// Margin applied to the total battery capacity when truncating cyclic loads
 /// so that the load always outlasts the batteries.
 const HORIZON_MARGIN: f64 = 1.25;
 
-/// Configuration of a multi-battery system.
+/// Configuration of a multi-battery system: a battery fleet (uniform or
+/// heterogeneous) plus the discretization that defines its time base.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
-    params: BatteryParams,
+    fleet: FleetSpec,
     disc: Discretization,
-    battery_count: usize,
     sample_interval_steps: Option<u64>,
 }
 
 impl SystemConfig {
-    /// Creates a configuration of `battery_count` identical batteries.
+    /// Creates a configuration of `battery_count` identical batteries (the
+    /// uniform convenience constructor; [`SystemConfig::from_fleet`] takes
+    /// an arbitrary fleet).
     ///
     /// # Errors
     ///
@@ -45,21 +47,22 @@ impl SystemConfig {
         disc: Discretization,
         battery_count: usize,
     ) -> Result<Self, SchedError> {
-        if battery_count == 0 {
-            return Err(SchedError::NoBatteries);
-        }
-        Ok(Self { params, disc, battery_count, sample_interval_steps: None })
+        let fleet =
+            FleetSpec::uniform(params, battery_count).map_err(|_| SchedError::NoBatteries)?;
+        Ok(Self::from_fleet(fleet, disc))
+    }
+
+    /// Creates a configuration from a (possibly heterogeneous) fleet.
+    #[must_use]
+    pub fn from_fleet(fleet: FleetSpec, disc: Discretization) -> Self {
+        Self { fleet, disc, sample_interval_steps: None }
     }
 
     /// The paper's two-battery setup: 2 × B1 with the paper discretization.
     #[must_use]
     pub fn paper_two_b1() -> Self {
-        Self {
-            params: BatteryParams::itsy_b1(),
-            disc: Discretization::paper_default(),
-            battery_count: 2,
-            sample_interval_steps: None,
-        }
+        Self::new(BatteryParams::itsy_b1(), Discretization::paper_default(), 2)
+            .expect("two batteries are a valid fleet")
     }
 
     /// Enables trace sampling roughly every `steps` time steps (samples are
@@ -71,10 +74,10 @@ impl SystemConfig {
         self
     }
 
-    /// The battery parameters.
+    /// The battery fleet.
     #[must_use]
-    pub fn params(&self) -> &BatteryParams {
-        &self.params
+    pub fn fleet(&self) -> &FleetSpec {
+        &self.fleet
     }
 
     /// The discretization.
@@ -86,27 +89,34 @@ impl SystemConfig {
     /// The number of batteries.
     #[must_use]
     pub fn battery_count(&self) -> usize {
-        self.battery_count
+        self.fleet.len()
     }
 
     /// A freshly charged discretized-KiBaM backend for this configuration
     /// (the paper's default model).
     #[must_use]
     pub fn discretized_model(&self) -> DiscretizedKibam {
-        DiscretizedKibam::new(&self.params, &self.disc, self.battery_count)
+        DiscretizedKibam::from_fleet(&self.fleet, &self.disc)
     }
 
     /// A freshly charged continuous-KiBaM backend for this configuration.
     #[must_use]
     pub fn continuous_model(&self) -> ContinuousKibam {
-        ContinuousKibam::new(&self.params, &self.disc, self.battery_count)
+        ContinuousKibam::from_fleet(&self.fleet, &self.disc)
+    }
+
+    /// A freshly charged ideal-battery backend for this configuration (the
+    /// linear cross-model baseline).
+    #[must_use]
+    pub fn ideal_model(&self) -> IdealBattery {
+        IdealBattery::from_fleet(&self.fleet, &self.disc)
     }
 
     /// The charge horizon used to truncate cyclic loads: a bit more than the
     /// combined capacity of all batteries.
     #[must_use]
     pub fn charge_horizon(&self) -> f64 {
-        self.params.capacity() * self.battery_count as f64 * HORIZON_MARGIN
+        self.fleet.total_capacity() * HORIZON_MARGIN
     }
 
     /// Discretizes a load profile with this configuration's horizon.

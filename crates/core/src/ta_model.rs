@@ -24,7 +24,7 @@
 
 use crate::SchedError;
 use dkibam::{Discretization, DiscretizedLoad, RecoveryTable};
-use kibam::BatteryParams;
+use kibam::{BatteryParams, FleetSpec};
 use pta::automaton::{Automaton, Edge, Location};
 use pta::expr::{BoolExpr, CmpOp, IntExpr, VarId};
 use pta::mincost::min_cost_reachability;
@@ -99,30 +99,49 @@ impl TaKibamModel {
 }
 
 /// Builds the TA-KiBaM network for `battery_count` identical batteries and a
-/// discretized load.
+/// discretized load (the uniform convenience wrapper around
+/// [`build_ta_kibam_fleet`]).
 ///
 /// # Errors
 ///
-/// Propagates network-construction errors.
+/// Returns [`SchedError::NoBatteries`] for an empty system and propagates
+/// network-construction errors.
 pub fn build_ta_kibam(
     params: &BatteryParams,
     disc: &Discretization,
     load: &DiscretizedLoad,
     battery_count: usize,
 ) -> Result<TaKibamModel, SchedError> {
-    if battery_count == 0 {
-        return Err(SchedError::NoBatteries);
-    }
+    let fleet = FleetSpec::uniform(*params, battery_count).map_err(|_| SchedError::NoBatteries)?;
+    build_ta_kibam_fleet(&fleet, disc, load)
+}
+
+/// Builds the TA-KiBaM network for a (possibly heterogeneous) battery fleet
+/// and a discretized load: per-battery automata use their own battery's
+/// well fraction, capacity and recovery table, so mixed (e.g. B1 + B2)
+/// systems are encoded faithfully.
+///
+/// # Errors
+///
+/// Propagates network-construction errors.
+pub fn build_ta_kibam_fleet(
+    fleet: &FleetSpec,
+    disc: &Discretization,
+    load: &DiscretizedLoad,
+) -> Result<TaKibamModel, SchedError> {
+    let battery_count = fleet.len();
     let mut network = Network::new();
-    let c_int = (params.c() * C_SCALE).round() as i64;
-    let capacity_units = i64::from(disc.charge_units(params.capacity()));
+    let c_ints: Vec<i64> =
+        fleet.params().iter().map(|p| (p.c() * C_SCALE).round() as i64).collect();
+    let capacity_units: Vec<i64> =
+        fleet.params().iter().map(|p| i64::from(disc.charge_units(p.capacity()))).collect();
 
     // ---- constant tables -------------------------------------------------
     let epochs = load.epochs();
     let epoch_count = epochs.len();
     let total_steps: i64 = load.total_steps() as i64;
     // A value larger than any time the model can reach, used as "never".
-    let never = total_steps + capacity_units * battery_count as i64 + 16;
+    let never = total_steps + capacity_units.iter().sum::<i64>() + 16;
 
     let mut load_time_values: Vec<i64> = load.load_time().iter().map(|&t| t as i64).collect();
     let mut cur_times_values: Vec<i64> =
@@ -134,26 +153,36 @@ pub fn build_ta_kibam(
     cur_times_values.push(1);
     cur_values.push(0);
 
-    // The recovery table is sized so that `recov_time[m + cur[j]]` stays in
-    // bounds even when a full battery takes its next draw.
+    // One recovery table per battery *type* (identical batteries share
+    // one), each sized so that `recov_time[m + cur[j]]` stays in bounds
+    // even when a full battery of that type takes its next draw.
     let max_units_per_draw = epochs.iter().map(|e| e.units_per_draw()).max().unwrap_or(1);
-    let recovery =
-        RecoveryTable::new(params, disc, disc.charge_units(params.capacity()) + max_units_per_draw);
-    let recov_values: Vec<i64> = (0..=recovery.max_units())
-        .map(|m| recovery.steps(m).map(|s| s as i64).unwrap_or(never))
+    let recov_time_by_type: Vec<_> = (0..fleet.type_count())
+        .map(|t| {
+            let params = fleet.type_params(t);
+            let recovery = RecoveryTable::new(
+                params,
+                disc,
+                disc.charge_units(params.capacity()) + max_units_per_draw,
+            );
+            let recov_values: Vec<i64> = (0..=recovery.max_units())
+                .map(|m| recovery.steps(m).map(|s| s as i64).unwrap_or(never))
+                .collect();
+            network.add_const_array(format!("recov_time_{t}"), recov_values)
+        })
         .collect();
+    let recov_time_of = |i: usize| recov_time_by_type[fleet.type_of(i)];
 
     let load_time = network.add_const_array("load_time", load_time_values);
     let cur_times = network.add_const_array("cur_times", cur_times_values);
     let cur = network.add_const_array("cur", cur_values);
-    let recov_time = network.add_const_array("recov_time", recov_values);
 
     // ---- shared variables, clocks, channels --------------------------------
     let j = network.add_var("j", 0);
     let empty_count = network.add_var("empty_count", 0);
     let charge_left = network.add_var("charge_left", 0);
     let n_gamma: Vec<VarId> = (0..battery_count)
-        .map(|i| network.add_var(format!("n_gamma_{i}"), capacity_units))
+        .map(|i| network.add_var(format!("n_gamma_{i}"), capacity_units[i]))
         .collect();
     let m_delta: Vec<VarId> =
         (0..battery_count).map(|i| network.add_var(format!("m_delta_{i}"), 0)).collect();
@@ -178,19 +207,20 @@ pub fn build_ta_kibam(
     let cur_j = || IntExpr::elem(cur, IntExpr::var(j));
     let cur_times_j = || IntExpr::elem(cur_times, IntExpr::var(j));
     let load_time_j = || IntExpr::elem(load_time, IntExpr::var(j));
-    // Eq. 8 scaled by 1000: (1000 - c) * m >= c * n means "empty".
+    // Eq. 8 scaled by 1000 with battery `i`'s own well fraction:
+    // (1000 - c_i) * m >= c_i * n means "empty".
     let is_empty = |i: usize| {
         BoolExpr::cmp(
-            IntExpr::constant(1000 - c_int).mul(IntExpr::var(m_delta[i])),
+            IntExpr::constant(1000 - c_ints[i]).mul(IntExpr::var(m_delta[i])),
             CmpOp::Ge,
-            IntExpr::constant(c_int).mul(IntExpr::var(n_gamma[i])),
+            IntExpr::constant(c_ints[i]).mul(IntExpr::var(n_gamma[i])),
         )
     };
     let not_empty = |i: usize| {
         BoolExpr::cmp(
-            IntExpr::constant(1000 - c_int).mul(IntExpr::var(m_delta[i])),
+            IntExpr::constant(1000 - c_ints[i]).mul(IntExpr::var(m_delta[i])),
             CmpOp::Lt,
-            IntExpr::constant(c_int).mul(IntExpr::var(n_gamma[i])),
+            IntExpr::constant(c_ints[i]).mul(IntExpr::var(n_gamma[i])),
         )
     };
 
@@ -234,6 +264,7 @@ pub fn build_ta_kibam(
     // a single edge, mirroring how the discrete simulator catches up at the
     // next step.
     for i in 0..battery_count {
+        let recov_time = recov_time_of(i);
         let mut automaton = Automaton::new(format!("height_difference_{i}"));
         let track = automaton.add_location(Location::new("track").with_invariant(
             BoolExpr::clock_le(c_recov[i], IntExpr::elem(recov_time, IntExpr::var(m_delta[i]))),
@@ -422,6 +453,37 @@ mod tests {
         assert_eq!(model.network().automata().len(), 7);
         assert_eq!(model.battery_count(), 2);
         assert!(model.network().validate().is_ok());
+    }
+
+    #[test]
+    fn mixed_fleet_builds_per_battery_tables_and_dominates_direct_search() {
+        let (small, disc, _) = tiny_setup();
+        let big = BatteryParams::new(0.06, 0.5, 2.0).unwrap();
+        let fleet = FleetSpec::new(vec![small, big]).unwrap();
+        let config = SystemConfig::from_fleet(fleet.clone(), disc);
+        // A slightly heavier load than `tiny_setup`'s so the mixed system
+        // dies quickly and the explicit-state search stays small.
+        let profile = LoadProfileBuilder::new().job(0.2, 0.2).idle(0.1).build_cyclic().unwrap();
+        let load = config.discretize(&profile).unwrap();
+
+        let model = build_ta_kibam_fleet(&fleet, &disc, &load).unwrap();
+        assert_eq!(model.battery_count(), 2);
+        assert!(model.network().validate().is_ok());
+
+        let direct = OptimalScheduler::new().find_optimal_on(&config, &load).unwrap();
+        let ta = model
+            .optimal_lifetime(2_000_000)
+            .unwrap()
+            .expect("the tiny mixed instance exhausts both batteries");
+        // Same relaxation argument as the uniform test below: the TA
+        // optimum dominates the direct search but stays within the load.
+        assert!(
+            ta.lifetime_steps >= direct.lifetime_steps,
+            "TA optimum {} must not be worse than the direct optimum {}",
+            ta.lifetime_steps,
+            direct.lifetime_steps
+        );
+        assert!(ta.lifetime_steps <= load.total_steps());
     }
 
     #[test]

@@ -4,21 +4,29 @@
 //! The transposition table and the dominance pruning are only admissible if
 //! they never change the computed optimum. This deterministic sampled
 //! property test sweeps the coarse-grid paper loads and seeded random loads
-//! across two- and three-battery systems and asserts bit-identical
-//! lifetimes, with the pruned search never exploring more nodes than the
-//! reference.
+//! across two- and three-battery systems — uniform and heterogeneous
+//! (mixed-type) fleets — and asserts bit-identical lifetimes, with the
+//! pruned search never exploring more nodes than the reference.
 
 use battery_sched::optimal::OptimalScheduler;
 use battery_sched::policy::FixedSchedule;
 use battery_sched::system::{simulate_policy, SystemConfig};
 use dkibam::Discretization;
-use kibam::BatteryParams;
+use kibam::{BatteryParams, FleetSpec};
 use workload::paper_loads::TestLoad;
 use workload::random::RandomLoadSpec;
 use workload::LoadProfile;
 
 fn coarse_system(count: usize) -> SystemConfig {
     SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), count).unwrap()
+}
+
+/// A heterogeneous coarse-grid system: `extra_b1` batteries of type B1 next
+/// to one B2.
+fn coarse_mixed_system(extra_b1: usize) -> SystemConfig {
+    let mut params = vec![BatteryParams::itsy_b1(); extra_b1];
+    params.push(BatteryParams::itsy_b2());
+    SystemConfig::from_fleet(FleetSpec::new(params).unwrap(), Discretization::coarse())
 }
 
 /// Deterministic random loads: seeds are fixed, so every run samples the
@@ -79,6 +87,54 @@ fn three_battery_search_is_equivalent() {
     for (index, profile) in random_profiles(3).iter().enumerate() {
         assert_equivalent(&config, profile, &format!("random[{index}]"));
     }
+}
+
+#[test]
+fn mixed_fleet_search_is_equivalent_on_paper_loads() {
+    // 1 x B1 + 1 x B2: type-grouped canonical keys must memoize mixed
+    // fleets without ever conflating a B1 state with a B2 state. The
+    // slow-drain loads (ILs 500/250) are omitted: the mixed fleet has 1.5x
+    // the charge and no battery symmetry, so the pruning-disabled
+    // *reference* search blows past the node budget there (the pruned
+    // search handles them fine — see the random-load test below and the
+    // fleet smoke grid in `tests/fleet_golden.rs`).
+    let config = coarse_mixed_system(1);
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt] {
+        assert_equivalent(&config, &load.profile(), &format!("B1+B2 {load}"));
+    }
+}
+
+#[test]
+fn mixed_fleet_search_is_equivalent_on_random_loads() {
+    let config = coarse_mixed_system(1);
+    for (index, profile) in random_profiles(2).iter().enumerate() {
+        assert_equivalent(&config, profile, &format!("B1+B2 random[{index}]"));
+    }
+}
+
+#[test]
+fn two_b1_plus_b2_search_prunes_the_b1_pair() {
+    // 2 x B1 + 1 x B2: the two B1s are interchangeable (symmetry pruning
+    // within the type group), the B2 is not. The search must stay exact,
+    // and the same fleet with the B2 replaced by a third B1 must explore at
+    // least as few nodes (full 3-way symmetry) than the mixed fleet
+    // (pairwise symmetry only). Only the fast-draining constant load keeps
+    // three mixed batteries tractable — the 22 A·min alternating search
+    // exceeds the default budget even pruned, exactly like the 4 x B1 case
+    // the ROADMAP lists as the open search frontier.
+    let load = TestLoad::Cl500;
+    let mixed = coarse_mixed_system(2);
+    let uniform = coarse_system(3);
+    assert_equivalent(&mixed, &load.profile(), "2xB1+B2 CL 500");
+    let mixed_outcome = OptimalScheduler::new().find_optimal(&mixed, &load.profile()).unwrap();
+    let uniform_outcome = OptimalScheduler::new().find_optimal(&uniform, &load.profile()).unwrap();
+    assert!(
+        uniform_outcome.nodes_explored <= mixed_outcome.nodes_explored,
+        "{load}: 3xB1 (full symmetry, {} nodes) must not out-branch 2xB1+B2 \
+         (pair symmetry, {} nodes)",
+        uniform_outcome.nodes_explored,
+        mixed_outcome.nodes_explored
+    );
 }
 
 #[test]

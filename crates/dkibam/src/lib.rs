@@ -22,6 +22,9 @@
 //!   `load_time` / `cur_times` / `cur` arrays of Section 4.1;
 //! * [`simulate_lifetime`](sim::simulate_lifetime) — the single-battery
 //!   discrete simulation used to validate the model (Tables 3 and 4);
+//! * [`DiscreteFleet`] — the static side of a (possibly heterogeneous)
+//!   multi-battery system: per-battery parameters from a
+//!   [`kibam::FleetSpec`] plus one recovery table per battery type;
 //! * [`MultiBatteryState`](multi::MultiBatteryState) — the multi-battery
 //!   discrete state on which the schedulers of the `battery-sched` crate
 //!   (including the optimal one) operate.
@@ -52,6 +55,7 @@
 mod battery;
 mod config;
 mod error;
+mod fleet;
 mod load;
 pub mod multi;
 mod recovery;
@@ -60,5 +64,6 @@ pub mod sim;
 pub use battery::DiscreteBattery;
 pub use config::Discretization;
 pub use error::DkibamError;
+pub use fleet::DiscreteFleet;
 pub use load::{DiscreteEpoch, DiscretizedLoad};
 pub use recovery::RecoveryTable;

@@ -7,9 +7,15 @@
 //! crate — including the optimal, search-based one — drive exactly this
 //! state, which makes it the discrete analogue of the network of
 //! total-charge / height-difference automata of Figure 5.
+//!
+//! The state is purely dynamic; all static data — per-battery parameters,
+//! discretization, per-type recovery tables — lives in a
+//! [`DiscreteFleet`], which every state-advancing method takes. Fleets may
+//! be heterogeneous (e.g. one B1 next to one B2): emptiness tests and
+//! recovery dynamics are always evaluated against the battery's own
+//! parameters and table.
 
-use crate::{DiscreteBattery, Discretization, DkibamError, RecoveryTable};
-use kibam::BatteryParams;
+use crate::{DiscreteBattery, DiscreteFleet, DkibamError};
 
 /// Result of letting one battery serve (a portion of) a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,12 +29,12 @@ pub struct JobAdvance {
     pub completed: bool,
 }
 
-/// The joint discrete state of a set of identical batteries.
+/// The joint discrete state of a fleet of batteries.
 ///
-/// All batteries share the same [`BatteryParams`] (as in the paper, which
-/// schedules two batteries of type B1); per-battery state is a
-/// [`DiscreteBattery`]. The type is `Eq + Hash` so optimal-schedule searches
-/// can memoize visited states.
+/// Per-battery state is a [`DiscreteBattery`]; per-battery parameters come
+/// from the [`DiscreteFleet`] passed to each method (the paper's systems are
+/// uniform fleets, but any mix is supported). The type is `Eq + Hash` so
+/// optimal-schedule searches can memoize visited states.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MultiBatteryState {
@@ -36,10 +42,14 @@ pub struct MultiBatteryState {
 }
 
 impl MultiBatteryState {
-    /// Creates a state with `count` full batteries.
+    /// Creates a state with every battery of the fleet fully charged.
     #[must_use]
-    pub fn new_full(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
-        Self { batteries: vec![DiscreteBattery::full(params, disc); count] }
+    pub fn new_full(fleet: &DiscreteFleet) -> Self {
+        Self {
+            batteries: (0..fleet.len())
+                .map(|i| DiscreteBattery::full(fleet.params_of(i), fleet.disc()))
+                .collect(),
+        }
     }
 
     /// Creates a state from explicit per-battery states.
@@ -82,11 +92,11 @@ impl MultiBatteryState {
     /// Indices of the batteries that can still serve a job: not yet observed
     /// empty and not currently satisfying the emptiness criterion.
     #[must_use]
-    pub fn available(&self, params: &BatteryParams) -> Vec<usize> {
+    pub fn available(&self, fleet: &DiscreteFleet) -> Vec<usize> {
         self.batteries
             .iter()
             .enumerate()
-            .filter(|(_, b)| !b.is_empty(params))
+            .filter(|&(i, b)| !b.is_empty(fleet.params_of(i)))
             .map(|(i, _)| i)
             .collect()
     }
@@ -94,25 +104,29 @@ impl MultiBatteryState {
     /// Fills `out` with the indices of the batteries that can still serve a
     /// job, reusing its allocation. Search schedulers query availability at
     /// every node; this keeps the hot path allocation-free.
-    pub fn available_into(&self, params: &BatteryParams, out: &mut Vec<usize>) {
+    pub fn available_into(&self, fleet: &DiscreteFleet, out: &mut Vec<usize>) {
         out.clear();
         out.extend(
-            self.batteries.iter().enumerate().filter(|(_, b)| !b.is_empty(params)).map(|(i, _)| i),
+            self.batteries
+                .iter()
+                .enumerate()
+                .filter(|&(i, b)| !b.is_empty(fleet.params_of(i)))
+                .map(|(i, _)| i),
         );
     }
 
     /// Whether at least one battery can still serve a job (the negation of
     /// [`MultiBatteryState::all_empty`], without building an index list).
     #[must_use]
-    pub fn any_available(&self, params: &BatteryParams) -> bool {
-        self.batteries.iter().any(|b| !b.is_empty(params))
+    pub fn any_available(&self, fleet: &DiscreteFleet) -> bool {
+        self.batteries.iter().enumerate().any(|(i, b)| !b.is_empty(fleet.params_of(i)))
     }
 
     /// Whether every battery is empty (the system has reached the end of its
     /// lifetime).
     #[must_use]
-    pub fn all_empty(&self, params: &BatteryParams) -> bool {
-        self.batteries.iter().all(|b| b.is_empty(params))
+    pub fn all_empty(&self, fleet: &DiscreteFleet) -> bool {
+        self.batteries.iter().enumerate().all(|(i, b)| b.is_empty(fleet.params_of(i)))
     }
 
     /// Total remaining charge units over all batteries. This is exactly the
@@ -125,15 +139,15 @@ impl MultiBatteryState {
 
     /// Total remaining charge in A·min.
     #[must_use]
-    pub fn total_charge(&self, disc: &Discretization) -> f64 {
-        self.total_charge_units() as f64 * disc.charge_unit()
+    pub fn total_charge(&self, fleet: &DiscreteFleet) -> f64 {
+        self.total_charge_units() as f64 * fleet.disc().charge_unit()
     }
 
     /// Lets every battery recover for `steps` time steps (an idle period of
     /// the load, or the portion of a job served by some other battery).
-    pub fn advance_idle(&mut self, steps: u64, table: &RecoveryTable) {
-        for battery in &mut self.batteries {
-            battery.advance_recovery(steps, table);
+    pub fn advance_idle(&mut self, steps: u64, fleet: &DiscreteFleet) {
+        for (i, battery) in self.batteries.iter_mut().enumerate() {
+            battery.advance_recovery(steps, fleet.table_of(i));
         }
     }
 
@@ -156,8 +170,7 @@ impl MultiBatteryState {
         steps: u64,
         draw_interval: u32,
         units_per_draw: u32,
-        table: &RecoveryTable,
-        params: &BatteryParams,
+        fleet: &DiscreteFleet,
     ) -> Result<JobAdvance, DkibamError> {
         if active >= self.batteries.len() {
             return Err(DkibamError::BatteryIndexOutOfRange {
@@ -167,10 +180,11 @@ impl MultiBatteryState {
         }
         if draw_interval == 0 || units_per_draw == 0 {
             // Degenerate "job" that draws nothing: just idle time.
-            self.advance_idle(steps, table);
+            self.advance_idle(steps, fleet);
             return Ok(JobAdvance { steps_consumed: steps, completed: true });
         }
-        if self.batteries[active].is_empty(params) {
+        let active_params = fleet.params_of(active);
+        if self.batteries[active].is_empty(active_params) {
             self.batteries[active].mark_observed_empty();
             return Ok(JobAdvance { steps_consumed: 0, completed: false });
         }
@@ -180,22 +194,22 @@ impl MultiBatteryState {
         let remainder = steps - draws * interval;
         let mut consumed = 0;
         for _ in 0..draws {
-            for battery in &mut self.batteries {
-                battery.advance_recovery(interval, table);
+            for (i, battery) in self.batteries.iter_mut().enumerate() {
+                battery.advance_recovery(interval, fleet.table_of(i));
             }
             consumed += interval;
             // As in the single-battery simulation, the emptiness condition is
             // checked at the draw instant both before and after the draw.
-            if !self.batteries[active].is_empty(params) {
+            if !self.batteries[active].is_empty(active_params) {
                 self.batteries[active].draw(units_per_draw);
             }
-            if self.batteries[active].is_empty(params) {
+            if self.batteries[active].is_empty(active_params) {
                 self.batteries[active].mark_observed_empty();
                 return Ok(JobAdvance { steps_consumed: consumed, completed: false });
             }
         }
-        for battery in &mut self.batteries {
-            battery.advance_recovery(remainder, table);
+        for (i, battery) in self.batteries.iter_mut().enumerate() {
+            battery.advance_recovery(remainder, fleet.table_of(i));
         }
         consumed += remainder;
         Ok(JobAdvance { steps_consumed: consumed, completed: true })
@@ -205,29 +219,45 @@ impl MultiBatteryState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Discretization;
+    use kibam::{BatteryParams, FleetSpec};
 
-    fn setup() -> (BatteryParams, Discretization, RecoveryTable) {
-        let params = BatteryParams::itsy_b1();
-        let disc = Discretization::paper_default();
-        let table = RecoveryTable::for_battery(&params, &disc);
-        (params, disc, table)
+    fn two_b1() -> DiscreteFleet {
+        DiscreteFleet::uniform(&BatteryParams::itsy_b1(), &Discretization::paper_default(), 2)
+    }
+
+    fn b1_plus_b2() -> DiscreteFleet {
+        DiscreteFleet::new(
+            FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap(),
+            Discretization::paper_default(),
+        )
     }
 
     #[test]
     fn new_full_creates_identical_full_batteries() {
-        let (params, disc, _) = setup();
-        let state = MultiBatteryState::new_full(&params, &disc, 2);
+        let fleet = two_b1();
+        let state = MultiBatteryState::new_full(&fleet);
         assert_eq!(state.battery_count(), 2);
         assert_eq!(state.total_charge_units(), 1100);
-        assert!((state.total_charge(&disc) - 11.0).abs() < 1e-12);
-        assert_eq!(state.available(&params), vec![0, 1]);
-        assert!(!state.all_empty(&params));
+        assert!((state.total_charge(&fleet) - 11.0).abs() < 1e-12);
+        assert_eq!(state.available(&fleet), vec![0, 1]);
+        assert!(!state.all_empty(&fleet));
+    }
+
+    #[test]
+    fn heterogeneous_fleet_fills_per_battery_capacities() {
+        let fleet = b1_plus_b2();
+        let state = MultiBatteryState::new_full(&fleet);
+        assert_eq!(state.batteries()[0].charge_units(), 550);
+        assert_eq!(state.batteries()[1].charge_units(), 1100);
+        assert!((state.total_charge(&fleet) - 16.5).abs() < 1e-12);
+        assert_eq!(state.available(&fleet), vec![0, 1]);
     }
 
     #[test]
     fn battery_access_is_bounds_checked() {
-        let (params, disc, _) = setup();
-        let state = MultiBatteryState::new_full(&params, &disc, 2);
+        let fleet = two_b1();
+        let state = MultiBatteryState::new_full(&fleet);
         assert!(state.battery(1).is_ok());
         assert!(matches!(
             state.battery(2),
@@ -237,10 +267,10 @@ mod tests {
 
     #[test]
     fn advance_job_discharges_only_the_active_battery() {
-        let (params, disc, table) = setup();
-        let mut state = MultiBatteryState::new_full(&params, &disc, 2);
+        let fleet = two_b1();
+        let mut state = MultiBatteryState::new_full(&fleet);
         // One minute of 500 mA: 100 steps, one unit every 2 steps.
-        let advance = state.advance_job(0, 100, 2, 1, &table, &params).unwrap();
+        let advance = state.advance_job(0, 100, 2, 1, &fleet).unwrap();
         assert!(advance.completed);
         assert_eq!(advance.steps_consumed, 100);
         assert_eq!(state.batteries()[0].charge_units(), 500);
@@ -251,85 +281,98 @@ mod tests {
 
     #[test]
     fn advance_job_on_out_of_range_battery_fails() {
-        let (params, disc, table) = setup();
-        let mut state = MultiBatteryState::new_full(&params, &disc, 2);
-        assert!(state.advance_job(5, 10, 2, 1, &table, &params).is_err());
+        let fleet = two_b1();
+        let mut state = MultiBatteryState::new_full(&fleet);
+        assert!(state.advance_job(5, 10, 2, 1, &fleet).is_err());
     }
 
     #[test]
     fn active_battery_is_retired_when_observed_empty() {
-        let (params, disc, table) = setup();
+        let fleet = two_b1();
         // Battery 0 is nearly dead: few charge units, big height difference.
         let dying = DiscreteBattery::from_units(30, 120);
-        let fresh = DiscreteBattery::full(&params, &disc);
+        let fresh = DiscreteBattery::full(fleet.params_of(1), fleet.disc());
         let mut state = MultiBatteryState::from_batteries(vec![dying, fresh]);
-        let advance = state.advance_job(0, 200, 2, 1, &table, &params).unwrap();
+        let advance = state.advance_job(0, 200, 2, 1, &fleet).unwrap();
         assert!(!advance.completed);
         assert!(advance.steps_consumed < 200);
         assert!(state.batteries()[0].is_observed_empty());
         // The other battery is still usable, so the system is not dead yet.
-        assert!(!state.all_empty(&params));
-        assert_eq!(state.available(&params), vec![1]);
+        assert!(!state.all_empty(&fleet));
+        assert_eq!(state.available(&fleet), vec![1]);
     }
 
     #[test]
     fn scheduling_an_already_empty_battery_consumes_no_time() {
-        let (params, disc, table) = setup();
+        let fleet = two_b1();
         let mut dead = DiscreteBattery::from_units(10, 100);
-        assert!(dead.is_empty(&params));
+        assert!(dead.is_empty(fleet.params_of(0)));
         dead.mark_observed_empty();
-        let fresh = DiscreteBattery::full(&params, &disc);
+        let fresh = DiscreteBattery::full(fleet.params_of(1), fleet.disc());
         let mut state = MultiBatteryState::from_batteries(vec![dead, fresh]);
-        let advance = state.advance_job(0, 100, 2, 1, &table, &params).unwrap();
+        let advance = state.advance_job(0, 100, 2, 1, &fleet).unwrap();
         assert_eq!(advance.steps_consumed, 0);
         assert!(!advance.completed);
     }
 
     #[test]
     fn idle_advance_recovers_all_batteries() {
-        let (params, _disc, table) = setup();
+        let fleet = two_b1();
         let used_a = DiscreteBattery::from_units(400, 60);
         let used_b = DiscreteBattery::from_units(300, 80);
         let mut state = MultiBatteryState::from_batteries(vec![used_a, used_b]);
-        state.advance_idle(1_000, &table);
+        state.advance_idle(1_000, &fleet);
         assert!(state.batteries()[0].height_units() < 60);
         assert!(state.batteries()[1].height_units() < 80);
         // Total charge never changes during idle periods.
         assert_eq!(state.total_charge_units(), 700);
-        let _ = params;
     }
 
     #[test]
     fn degenerate_job_with_no_draws_is_idle_time() {
-        let (params, disc, table) = setup();
-        let mut state = MultiBatteryState::new_full(&params, &disc, 2);
-        let advance = state.advance_job(0, 50, 0, 0, &table, &params).unwrap();
+        let fleet = two_b1();
+        let mut state = MultiBatteryState::new_full(&fleet);
+        let advance = state.advance_job(0, 50, 0, 0, &fleet).unwrap();
         assert!(advance.completed);
         assert_eq!(state.total_charge_units(), 1100);
     }
 
     #[test]
     fn available_into_matches_available() {
-        let (params, disc, table) = setup();
-        let mut state = MultiBatteryState::new_full(&params, &disc, 3);
+        let fleet =
+            DiscreteFleet::uniform(&BatteryParams::itsy_b1(), &Discretization::paper_default(), 3);
+        let mut state = MultiBatteryState::new_full(&fleet);
         let mut buf = vec![7usize; 5];
-        state.available_into(&params, &mut buf);
-        assert_eq!(buf, state.available(&params));
-        assert!(state.any_available(&params));
+        state.available_into(&fleet, &mut buf);
+        assert_eq!(buf, state.available(&fleet));
+        assert!(state.any_available(&fleet));
         // Retire battery 1 and check the reduced set.
-        let advance = state.advance_job(1, 10_000, 2, 1, &table, &params).unwrap();
+        let advance = state.advance_job(1, 10_000, 2, 1, &fleet).unwrap();
         assert!(!advance.completed);
-        state.available_into(&params, &mut buf);
+        state.available_into(&fleet, &mut buf);
         assert_eq!(buf, vec![0, 2]);
-        assert!(state.any_available(&params));
+        assert!(state.any_available(&fleet));
+    }
+
+    #[test]
+    fn mixed_fleet_emptiness_uses_per_battery_parameters() {
+        // Drain the B1 of a B1+B2 fleet dry: the (larger) B2 keeps serving.
+        let fleet = b1_plus_b2();
+        let mut state = MultiBatteryState::new_full(&fleet);
+        let advance = state.advance_job(0, 100_000, 2, 1, &fleet).unwrap();
+        assert!(!advance.completed);
+        assert!(state.batteries()[0].is_observed_empty());
+        assert_eq!(state.available(&fleet), vec![1]);
+        let advance = state.advance_job(1, 100, 2, 1, &fleet).unwrap();
+        assert!(advance.completed);
     }
 
     #[test]
     fn state_equality_and_hashing_ignore_nothing() {
         use std::collections::HashSet;
-        let (params, disc, _) = setup();
-        let a = MultiBatteryState::new_full(&params, &disc, 2);
-        let b = MultiBatteryState::new_full(&params, &disc, 2);
+        let fleet = two_b1();
+        let a = MultiBatteryState::new_full(&fleet);
+        let b = MultiBatteryState::new_full(&fleet);
         let mut set = HashSet::new();
         set.insert(a.clone());
         assert!(set.contains(&b));

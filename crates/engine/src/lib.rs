@@ -3,8 +3,9 @@
 //! The seed repository regenerated every table of the paper with a bespoke
 //! loop. This crate replaces those loops with a single declarative layer:
 //!
-//! 1. describe a **grid** with a [`ScenarioSpec`] — battery types × battery
-//!    counts × discretizations × loads × policies × backends;
+//! 1. describe a **grid** with a [`ScenarioSpec`] — battery fleets (uniform
+//!    `battery × count` sugar or heterogeneous `B1+B2` mixes) ×
+//!    discretizations × loads × policies × backends;
 //! 2. [`run_grid`] expands the grid and executes every cell **in parallel**
 //!    on scoped worker threads, through the backend-agnostic
 //!    [`battery_sched::model::BatteryModel`] simulation path;
@@ -15,31 +16,43 @@
 //! # Example
 //!
 //! ```
-//! use engine::{run_grid, BackendKind, BatterySpec, DiscSpec, LoadSpec, PolicyKind,
-//!              ScenarioSpec};
+//! use engine::{run_grid, BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec,
+//!              PolicyKind, ScenarioSpec};
 //! use workload::paper_loads::TestLoad;
 //!
 //! # fn main() -> Result<(), engine::EngineError> {
 //! let spec = ScenarioSpec {
+//!     // `batteries × battery_counts` is sugar for uniform fleets; the
+//!     // `fleets` axis adds heterogeneous systems like B1+B2.
 //!     batteries: vec![BatterySpec::b1()],
 //!     battery_counts: vec![2],
+//!     fleets: vec![FleetDef::mixed(vec![BatterySpec::b1(), BatterySpec::b2()])],
 //!     discretizations: vec![DiscSpec::paper()],
 //!     loads: vec![LoadSpec::Paper(TestLoad::Cl500), LoadSpec::Paper(TestLoad::Ils500)],
 //!     policies: vec![PolicyKind::RoundRobin, PolicyKind::BestOfTwo],
 //!     backends: vec![BackendKind::Discretized],
 //! };
 //! let results = run_grid(&spec)?;
-//! assert_eq!(results.len(), 4);
-//! // Table 5: round robin on ILs 500 lives about 10.48 minutes.
+//! assert_eq!(results.len(), 8);
+//! // Table 5: round robin on ILs 500 lives about 10.48 minutes on 2 x B1.
 //! let rr = results
 //!     .iter()
 //!     .find(|r| r.scenario.load.name() == "ILs 500"
-//!         && r.scenario.policy == PolicyKind::RoundRobin)
+//!         && r.scenario.policy == PolicyKind::RoundRobin
+//!         && r.scenario.fleet.name == "2xB1")
 //!     .unwrap();
 //! assert!((rr.lifetime_minutes.unwrap() - 10.48).abs() < 0.15);
+//! // The mixed fleet (5.5 + 11 A·min) outlives the uniform pair.
+//! let mixed = results
+//!     .iter()
+//!     .find(|r| r.scenario.load.name() == "ILs 500"
+//!         && r.scenario.policy == PolicyKind::RoundRobin
+//!         && r.scenario.fleet.name == "B1+B2")
+//!     .unwrap();
+//! assert!(mixed.lifetime_minutes.unwrap() > rr.lifetime_minutes.unwrap());
 //! // The whole result set serializes to JSON.
 //! let json = engine::results_to_json(&spec, &results)?;
-//! assert!(json.contains("\"ILs 500\""));
+//! assert!(json.contains("\"B1+B2\""));
 //! # Ok(())
 //! # }
 //! ```
@@ -57,7 +70,9 @@ pub use runner::{
     run_scenario, run_scenario_with_cache, ScenarioResult, SearchStats, StreamSummary,
     StreamingResultWriter, WorkerCache,
 };
-pub use spec::{BackendKind, BatterySpec, DiscSpec, LoadSpec, PolicyKind, Scenario, ScenarioSpec};
+pub use spec::{
+    BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, Scenario, ScenarioSpec,
+};
 
 use std::fmt;
 

@@ -69,13 +69,21 @@ pub struct ScenarioResult {
 
 impl ScenarioResult {
     /// The result as a JSON document model (scenario descriptor inlined, so
-    /// a result set is self-describing).
+    /// a result set is self-describing). Uniform fleets keep the classic
+    /// `battery`/`battery_count` fields; every row also carries the fleet
+    /// name (`"2xB1"`, `"B1+B2"`, ...).
     #[must_use]
     pub fn to_json_value(&self) -> JsonValue {
+        let battery_label = if self.scenario.fleet.is_uniform() {
+            self.scenario.fleet.batteries[0].name.clone()
+        } else {
+            self.scenario.fleet.name.clone()
+        };
         #[allow(clippy::cast_precision_loss)]
         let mut fields = vec![
-            ("battery", JsonValue::String(self.scenario.battery.name.clone())),
-            ("battery_count", JsonValue::Number(self.scenario.battery_count as f64)),
+            ("fleet", JsonValue::String(self.scenario.fleet.name.clone())),
+            ("battery", JsonValue::String(battery_label)),
+            ("battery_count", JsonValue::Number(self.scenario.fleet.battery_count() as f64)),
             ("time_step", JsonValue::Number(self.scenario.disc.time_step)),
             ("charge_unit", JsonValue::Number(self.scenario.disc.charge_unit)),
             ("load", JsonValue::String(self.scenario.load.name())),
@@ -138,16 +146,13 @@ pub fn results_from_json(text: &str) -> Result<(ScenarioSpec, Vec<JsonValue>), E
     Ok((spec, results))
 }
 
-/// Key of a cached system configuration: battery parameters,
-/// discretization (by exact bit pattern) and battery count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Key of a cached system configuration: the per-battery parameters of the
+/// fleet plus the discretization, all by exact bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SystemKey {
-    capacity: u64,
-    c: u64,
-    k_prime: u64,
+    batteries: Vec<(u64, u64, u64)>,
     time_step: u64,
     charge_unit: u64,
-    count: usize,
 }
 
 /// A validated system configuration with ready-built backends. The
@@ -159,6 +164,7 @@ struct CachedSystem {
     config: SystemConfig,
     discretized: battery_sched::backends::DiscretizedKibam,
     continuous: battery_sched::backends::ContinuousKibam,
+    ideal: battery_sched::backends::IdealBattery,
 }
 
 /// Per-worker cache of validated system configurations.
@@ -181,22 +187,25 @@ impl WorkerCache {
 
     fn system(&mut self, scenario: &Scenario) -> Result<&mut CachedSystem, EngineError> {
         let key = SystemKey {
-            capacity: scenario.battery.capacity.to_bits(),
-            c: scenario.battery.c.to_bits(),
-            k_prime: scenario.battery.k_prime.to_bits(),
+            batteries: scenario
+                .fleet
+                .batteries
+                .iter()
+                .map(|b| (b.capacity.to_bits(), b.c.to_bits(), b.k_prime.to_bits()))
+                .collect(),
             time_step: scenario.disc.time_step.to_bits(),
             charge_unit: scenario.disc.charge_unit.to_bits(),
-            count: scenario.battery_count,
         };
         match self.systems.entry(key) {
             Entry::Occupied(entry) => Ok(entry.into_mut()),
             Entry::Vacant(entry) => {
-                let params = scenario.battery.to_params()?;
+                let fleet = scenario.fleet.to_fleet_spec()?;
                 let disc = scenario.disc.to_discretization()?;
-                let config = SystemConfig::new(params, disc, scenario.battery_count)?;
+                let config = SystemConfig::from_fleet(fleet, disc);
                 let discretized = config.discretized_model();
                 let continuous = config.continuous_model();
-                Ok(entry.insert(CachedSystem { config, discretized, continuous }))
+                let ideal = config.ideal_model();
+                Ok(entry.insert(CachedSystem { config, discretized, continuous, ideal }))
             }
         }
     }
@@ -238,24 +247,14 @@ pub fn run_scenario_with_cache(
                 BackendKind::Continuous => {
                     scheduler.find_optimal_with(&system.config, &load, &mut system.continuous)?
                 }
+                BackendKind::Ideal => {
+                    scheduler.find_optimal_with(&system.config, &load, &mut system.ideal)?
+                }
             };
             // Replay the optimal decision sequence to recover the residual
             // charge and switch counts the deterministic cells report.
             let mut replay = FixedSchedule::new(optimal.decisions.clone());
-            let outcome: SystemOutcome = match scenario.backend {
-                BackendKind::Discretized => simulate_policy_with(
-                    &system.config,
-                    &load,
-                    &mut replay,
-                    &mut system.discretized,
-                )?,
-                BackendKind::Continuous => simulate_policy_with(
-                    &system.config,
-                    &load,
-                    &mut replay,
-                    &mut system.continuous,
-                )?,
-            };
+            let outcome = simulate_on_backend(system, scenario.backend, &load, &mut replay)?;
             let stats = SearchStats {
                 nodes_explored: optimal.nodes_explored as u64,
                 memo_hits: optimal.memo_hits as u64,
@@ -267,20 +266,7 @@ pub fn run_scenario_with_cache(
         _ => {
             let mut policy =
                 scenario.policy.build().expect("non-optimal policies always instantiate");
-            let outcome: SystemOutcome = match scenario.backend {
-                BackendKind::Discretized => simulate_policy_with(
-                    &system.config,
-                    &load,
-                    policy.as_mut(),
-                    &mut system.discretized,
-                )?,
-                BackendKind::Continuous => simulate_policy_with(
-                    &system.config,
-                    &load,
-                    policy.as_mut(),
-                    &mut system.continuous,
-                )?,
-            };
+            let outcome = simulate_on_backend(system, scenario.backend, &load, policy.as_mut())?;
             let minutes = outcome.lifetime_minutes();
             (outcome, minutes, None)
         }
@@ -295,6 +281,28 @@ pub fn run_scenario_with_cache(
         decisions: outcome.schedule().assignments.len() as u64,
         wall_micros,
         search,
+    })
+}
+
+/// Runs a policy simulation against the cached backend instance selected by
+/// `backend` (the simulation loop is generic over the backend type, so the
+/// dispatch happens here, once per cell).
+fn simulate_on_backend(
+    system: &mut CachedSystem,
+    backend: BackendKind,
+    load: &dkibam::DiscretizedLoad,
+    policy: &mut dyn battery_sched::policy::SchedulingPolicy,
+) -> Result<SystemOutcome, EngineError> {
+    Ok(match backend {
+        BackendKind::Discretized => {
+            simulate_policy_with(&system.config, load, policy, &mut system.discretized)?
+        }
+        BackendKind::Continuous => {
+            simulate_policy_with(&system.config, load, policy, &mut system.continuous)?
+        }
+        BackendKind::Ideal => {
+            simulate_policy_with(&system.config, load, policy, &mut system.ideal)?
+        }
     })
 }
 
@@ -580,13 +588,14 @@ pub fn run_grid_streaming<W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{BatterySpec, DiscSpec, LoadSpec, PolicyKind};
+    use crate::spec::{BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind};
     use workload::paper_loads::TestLoad;
 
     fn small_grid() -> ScenarioSpec {
         ScenarioSpec {
             batteries: vec![BatterySpec::b1()],
             battery_counts: vec![2],
+            fleets: vec![],
             discretizations: vec![DiscSpec::paper()],
             loads: vec![
                 LoadSpec::Paper(TestLoad::Cl500),
@@ -688,6 +697,53 @@ mod tests {
         // And the JSON row carries the stats.
         let json = optimal.to_json_value().render().unwrap();
         assert!(json.contains("\"nodes_explored\""));
+    }
+
+    #[test]
+    fn ideal_backend_runs_through_the_engine() {
+        let mut spec = small_grid();
+        spec.loads = vec![LoadSpec::Paper(TestLoad::Cl500)];
+        spec.policies = vec![PolicyKind::RoundRobin];
+        spec.backends = vec![BackendKind::Discretized, BackendKind::Ideal];
+        let results = run_grid(&spec).unwrap();
+        assert_eq!(results.len(), 2);
+        let kibam = results[0].lifetime_minutes.unwrap();
+        let ideal = results[1].lifetime_minutes.unwrap();
+        // Two ideal 5.5 A·min batteries under 500 mA last exactly 22 min;
+        // the KiBaM pair strands most of its charge (Table 5: 4.53 min).
+        assert!((ideal - 22.0).abs() < 0.05, "ideal lifetime {ideal}");
+        assert!(ideal > 4.0 * kibam, "the ideal baseline dwarfs the KiBaM lifetime");
+        let json = results[1].to_json_value().render().unwrap();
+        assert!(json.contains("\"ideal\""));
+    }
+
+    #[test]
+    fn mixed_fleet_runs_end_to_end_with_the_optimal_policy() {
+        // The acceptance scenario: a 1xB1 + 1xB2 fleet through ScenarioSpec
+        // JSON -> engine -> PolicyKind::Optimal.
+        let spec = ScenarioSpec {
+            batteries: vec![],
+            battery_counts: vec![],
+            fleets: vec![FleetDef::mixed(vec![BatterySpec::b1(), BatterySpec::b2()])],
+            discretizations: vec![DiscSpec::coarse()],
+            loads: vec![LoadSpec::Paper(TestLoad::IlsAlt)],
+            policies: vec![PolicyKind::BestOfTwo, PolicyKind::optimal()],
+            backends: vec![BackendKind::Discretized],
+        };
+        // Round-trip the grid through JSON first, as a driver script would.
+        let spec = ScenarioSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        let results = run_grid(&spec).unwrap();
+        assert_eq!(results.len(), 2);
+        let best = &results[0];
+        let optimal = &results[1];
+        assert_eq!(optimal.scenario.fleet.name, "B1+B2");
+        let stats = optimal.search.expect("optimal cells report search stats");
+        assert!(stats.nodes_explored > 0);
+        assert!(optimal.lifetime_minutes.unwrap() >= best.lifetime_minutes.unwrap());
+        // The mixed pair (16.5 A·min) outlives the paper's 2xB1 optimum.
+        assert!(optimal.lifetime_minutes.unwrap() > 15.0);
+        let json = optimal.to_json_value().render().unwrap();
+        assert!(json.contains("\"fleet\":\"B1+B2\""));
     }
 
     #[test]

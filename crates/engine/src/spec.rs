@@ -1,17 +1,18 @@
 //! Declarative scenario grids.
 //!
-//! A [`ScenarioSpec`] describes a *grid* of experiments — battery types ×
-//! battery counts × discretizations × loads × policies × backends — in a
-//! JSON-serializable form. [`ScenarioSpec::expand`] turns the grid into the
-//! concrete [`Scenario`]s the runner executes; the five bespoke benchmark
-//! loops of the seed repository become one-line grids this way, and
-//! heterogeneous sweeps (several battery types, several backends) are just
-//! longer axes.
+//! A [`ScenarioSpec`] describes a *grid* of experiments — battery fleets ×
+//! discretizations × loads × policies × backends — in a JSON-serializable
+//! form. The fleet axis is fleet-first: a cell's system is an ordered list
+//! of per-battery types ([`FleetDef`]), so heterogeneous mixes like
+//! `B1+B2` are grid cells like any other; the classic `battery × count`
+//! axes are kept as sugar that desugars to uniform fleets.
+//! [`ScenarioSpec::expand`] turns the grid into the concrete [`Scenario`]s
+//! the runner executes.
 
 use crate::json::JsonValue;
 use crate::EngineError;
 use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
-use kibam::BatteryParams;
+use kibam::{BatteryParams, FleetSpec};
 use workload::builder::LoadProfileBuilder;
 use workload::paper_loads::TestLoad;
 use workload::random::RandomLoadSpec;
@@ -78,6 +79,84 @@ impl BatterySpec {
             capacity: require_f64(value, "capacity")?,
             c: require_f64(value, "c")?,
             k_prime: require_f64(value, "k_prime")?,
+        })
+    }
+}
+
+/// A battery fleet in a scenario grid: an ordered list of per-battery
+/// types, possibly heterogeneous.
+///
+/// [`FleetDef::uniform`] recovers the classic `battery × count` cells (and
+/// the `batteries`/`battery_counts` axes of [`ScenarioSpec`] desugar to
+/// it); [`FleetDef::mixed`] builds arbitrary mixes such as `B1+B2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDef {
+    /// Display name (e.g. `"2xB1"` or `"B1+B2"`).
+    pub name: String,
+    /// The per-battery types, in battery index order.
+    pub batteries: Vec<BatterySpec>,
+}
+
+impl FleetDef {
+    /// A fleet of `count` identical batteries, named `"{count}x{battery}"`.
+    #[must_use]
+    pub fn uniform(battery: BatterySpec, count: usize) -> Self {
+        let name = format!("{count}x{}", battery.name);
+        Self { name, batteries: vec![battery; count] }
+    }
+
+    /// A (possibly) mixed fleet, named by joining the battery names with
+    /// `+` (e.g. `"B1+B1+B2"`).
+    #[must_use]
+    pub fn mixed(batteries: Vec<BatterySpec>) -> Self {
+        let name = batteries.iter().map(|b| b.name.as_str()).collect::<Vec<_>>().join("+");
+        Self { name, batteries }
+    }
+
+    /// The number of batteries in the fleet.
+    #[must_use]
+    pub fn battery_count(&self) -> usize {
+        self.batteries.len()
+    }
+
+    /// Whether every battery in the fleet has the same parameters.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.batteries.windows(2).all(|pair| {
+            let (a, b) = (&pair[0], &pair[1]);
+            a.capacity == b.capacity && a.c == b.c && a.k_prime == b.k_prime
+        })
+    }
+
+    /// Validates the fleet into a [`kibam::FleetSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Kibam`] for invalid battery parameters or an
+    /// empty fleet.
+    pub fn to_fleet_spec(&self) -> Result<FleetSpec, EngineError> {
+        let params =
+            self.batteries.iter().map(BatterySpec::to_params).collect::<Result<Vec<_>, _>>()?;
+        Ok(FleetSpec::new(params)?)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", JsonValue::String(self.name.clone())),
+            (
+                "batteries",
+                JsonValue::Array(self.batteries.iter().map(BatterySpec::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+        Ok(Self {
+            name: require_str(value, "name")?.to_owned(),
+            batteries: require_array(value, "batteries")?
+                .iter()
+                .map(BatterySpec::from_json)
+                .collect::<Result<_, _>>()?,
         })
     }
 }
@@ -242,12 +321,22 @@ pub enum BackendKind {
     Discretized,
     /// The closed-form continuous KiBaM.
     Continuous,
+    /// The ideal (linear) battery: no rate-capacity or recovery effect, the
+    /// cross-model baseline.
+    Ideal,
 }
 
 impl BackendKind {
     /// All built-in backends.
     #[must_use]
-    pub fn all() -> [BackendKind; 2] {
+    pub fn all() -> [BackendKind; 3] {
+        [BackendKind::Discretized, BackendKind::Continuous, BackendKind::Ideal]
+    }
+
+    /// The two KiBaM backends the paper's tables compare (without the ideal
+    /// baseline).
+    #[must_use]
+    pub fn kibam() -> [BackendKind; 2] {
         [BackendKind::Discretized, BackendKind::Continuous]
     }
 
@@ -257,6 +346,7 @@ impl BackendKind {
         match self {
             BackendKind::Discretized => "discretized",
             BackendKind::Continuous => "continuous",
+            BackendKind::Ideal => "ideal",
         }
     }
 
@@ -473,12 +563,20 @@ impl LoadSpec {
 }
 
 /// A declarative grid of scenarios: the cartesian product of every axis.
+///
+/// The system axis is fleet-first: `batteries × battery_counts` desugars to
+/// uniform [`FleetDef`]s, and the `fleets` axis appends arbitrary
+/// (heterogeneous) fleets after them. A grid may use either or both.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
-    /// Battery types to sweep.
+    /// Battery types to sweep (sugar: crossed with `battery_counts` into
+    /// uniform fleets).
     pub batteries: Vec<BatterySpec>,
-    /// Battery counts to sweep.
+    /// Battery counts to sweep (sugar, see `batteries`).
     pub battery_counts: Vec<usize>,
+    /// Explicit (possibly heterogeneous) fleets to sweep, after the
+    /// desugared uniform ones.
+    pub fleets: Vec<FleetDef>,
     /// Discretizations to sweep.
     pub discretizations: Vec<DiscSpec>,
     /// Loads to sweep.
@@ -492,24 +590,40 @@ pub struct ScenarioSpec {
 impl ScenarioSpec {
     /// The paper's Table 5 experiment as a grid: 2 × B1 at the paper
     /// discretization, all ten loads, all three deterministic policies, both
-    /// backends.
+    /// KiBaM backends.
     #[must_use]
     pub fn paper_table5() -> Self {
         Self {
             batteries: vec![BatterySpec::b1()],
             battery_counts: vec![2],
+            fleets: vec![],
             discretizations: vec![DiscSpec::paper()],
             loads: TestLoad::all().into_iter().map(LoadSpec::Paper).collect(),
             policies: PolicyKind::all().to_vec(),
-            backends: BackendKind::all().to_vec(),
+            backends: BackendKind::kibam().to_vec(),
         }
+    }
+
+    /// The effective fleet axis: `batteries × battery_counts` desugared to
+    /// uniform fleets, followed by the explicit `fleets`.
+    #[must_use]
+    pub fn effective_fleets(&self) -> Vec<FleetDef> {
+        let mut fleets = Vec::with_capacity(
+            self.batteries.len() * self.battery_counts.len() + self.fleets.len(),
+        );
+        for battery in &self.batteries {
+            for &count in &self.battery_counts {
+                fleets.push(FleetDef::uniform(battery.clone(), count));
+            }
+        }
+        fleets.extend(self.fleets.iter().cloned());
+        fleets
     }
 
     /// The number of scenarios the grid expands to.
     #[must_use]
     pub fn scenario_count(&self) -> usize {
-        self.batteries.len()
-            * self.battery_counts.len()
+        (self.batteries.len() * self.battery_counts.len() + self.fleets.len())
             * self.discretizations.len()
             * self.loads.len()
             * self.policies.len()
@@ -517,25 +631,22 @@ impl ScenarioSpec {
     }
 
     /// Expands the grid into concrete scenarios (row-major over the axes in
-    /// declaration order).
+    /// declaration order, fleets outermost).
     #[must_use]
     pub fn expand(&self) -> Vec<Scenario> {
         let mut scenarios = Vec::with_capacity(self.scenario_count());
-        for battery in &self.batteries {
-            for &battery_count in &self.battery_counts {
-                for &disc in &self.discretizations {
-                    for load in &self.loads {
-                        for &policy in &self.policies {
-                            for &backend in &self.backends {
-                                scenarios.push(Scenario {
-                                    battery: battery.clone(),
-                                    battery_count,
-                                    disc,
-                                    load: load.clone(),
-                                    policy,
-                                    backend,
-                                });
-                            }
+        for fleet in self.effective_fleets() {
+            for &disc in &self.discretizations {
+                for load in &self.loads {
+                    for &policy in &self.policies {
+                        for &backend in &self.backends {
+                            scenarios.push(Scenario {
+                                fleet: fleet.clone(),
+                                disc,
+                                load: load.clone(),
+                                policy,
+                                backend,
+                            });
                         }
                     }
                 }
@@ -567,6 +678,7 @@ impl ScenarioSpec {
                     self.battery_counts.iter().map(|&n| JsonValue::Number(n as f64)).collect(),
                 ),
             ),
+            ("fleets", JsonValue::Array(self.fleets.iter().map(FleetDef::to_json).collect())),
             (
                 "discretizations",
                 JsonValue::Array(
@@ -611,6 +723,17 @@ impl ScenarioSpec {
                     n.as_u64().map(|n| n as usize).ok_or_else(|| missing("battery_counts entry"))
                 })
                 .collect::<Result<_, _>>()?,
+            // Older documents predate the fleet axis; a missing key is an
+            // empty axis, so pre-fleet grids keep parsing unchanged.
+            fleets: match value.get("fleets") {
+                None => Vec::new(),
+                Some(fleets) => fleets
+                    .as_array()
+                    .ok_or_else(|| missing("fleets"))?
+                    .iter()
+                    .map(FleetDef::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
             discretizations: require_array(value, "discretizations")?
                 .iter()
                 .map(DiscSpec::from_json)
@@ -634,10 +757,8 @@ impl ScenarioSpec {
 /// One cell of an expanded grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// The battery type.
-    pub battery: BatterySpec,
-    /// The number of identical batteries in the system.
-    pub battery_count: usize,
+    /// The battery fleet of the system (uniform or mixed).
+    pub fleet: FleetDef,
     /// The discretization.
     pub disc: DiscSpec,
     /// The load.
@@ -650,13 +771,13 @@ pub struct Scenario {
 
 impl Scenario {
     /// A compact human-readable label, e.g.
-    /// `"2xB1 ILs 500 round-robin discretized"`.
+    /// `"2xB1 ILs 500 round-robin discretized"` or
+    /// `"B1+B2 ILs alt optimal discretized"`.
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{}x{} {} {} {}",
-            self.battery_count,
-            self.battery.name,
+            "{} {} {} {}",
+            self.fleet.name,
             self.load.name(),
             self.policy.name(),
             self.backend.name()
@@ -700,10 +821,58 @@ mod tests {
     }
 
     #[test]
+    fn fleet_axis_expands_after_the_uniform_sugar() {
+        let mut spec = ScenarioSpec::paper_table5();
+        spec.loads = vec![LoadSpec::Paper(TestLoad::Cl500)];
+        spec.policies = vec![PolicyKind::RoundRobin];
+        spec.backends = vec![BackendKind::Discretized];
+        spec.fleets = vec![FleetDef::mixed(vec![BatterySpec::b1(), BatterySpec::b2()])];
+        assert_eq!(spec.scenario_count(), 2);
+        let scenarios = spec.expand();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].fleet.name, "2xB1");
+        assert!(scenarios[0].fleet.is_uniform());
+        assert_eq!(scenarios[1].fleet.name, "B1+B2");
+        assert!(!scenarios[1].fleet.is_uniform());
+        assert_eq!(scenarios[1].fleet.battery_count(), 2);
+        assert_eq!(scenarios[1].label(), "B1+B2 CL 500 round-robin discretized");
+        let fleet_spec = scenarios[1].fleet.to_fleet_spec().unwrap();
+        assert_eq!(fleet_spec.type_count(), 2);
+        assert!((fleet_spec.total_capacity() - 16.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_fleet_def_matches_the_sugar() {
+        let sugar = ScenarioSpec::paper_table5();
+        let mut explicit = ScenarioSpec::paper_table5();
+        explicit.batteries = vec![];
+        explicit.battery_counts = vec![];
+        explicit.fleets = vec![FleetDef::uniform(BatterySpec::b1(), 2)];
+        let a = sugar.expand();
+        let b = explicit.expand();
+        assert_eq!(a, b, "the sugar and the explicit fleet expand identically");
+    }
+
+    #[test]
+    fn documents_without_a_fleet_axis_still_parse() {
+        // Pre-fleet JSON documents have no "fleets" key; the parse treats
+        // that as an empty axis.
+        let spec = ScenarioSpec::paper_table5();
+        let json = spec.to_json().unwrap();
+        assert!(json.contains("\"fleets\""));
+        let legacy = json.replace("\"fleets\":[],", "");
+        assert_ne!(legacy, json);
+        let parsed = ScenarioSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
     fn spec_round_trips_through_json() {
         let mut spec = ScenarioSpec::paper_table5();
         spec.batteries.push(BatterySpec::b2());
         spec.battery_counts.push(3);
+        spec.fleets.push(FleetDef::mixed(vec![BatterySpec::b1(), BatterySpec::b2()]));
+        spec.backends.push(BackendKind::Ideal);
         spec.discretizations.push(DiscSpec::coarse());
         spec.loads.push(LoadSpec::Custom {
             name: "burst".to_owned(),

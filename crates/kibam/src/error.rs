@@ -41,6 +41,8 @@ pub enum KibamError {
         /// The rejected charge (A·min).
         value: f64,
     },
+    /// A battery fleet was constructed with no batteries.
+    EmptyFleet,
 }
 
 impl fmt::Display for KibamError {
@@ -66,6 +68,9 @@ impl fmt::Display for KibamError {
             }
             KibamError::InvalidCharge { value } => {
                 write!(f, "charge must be non-negative and finite, got {value}")
+            }
+            KibamError::EmptyFleet => {
+                write!(f, "a battery fleet needs at least one battery")
             }
         }
     }

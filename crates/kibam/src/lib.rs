@@ -53,6 +53,7 @@
 
 pub mod analytic;
 mod error;
+mod fleet;
 pub mod lifetime;
 pub mod ode;
 mod params;
@@ -60,6 +61,7 @@ mod state;
 pub mod trace;
 
 pub use error::KibamError;
+pub use fleet::FleetSpec;
 pub use params::BatteryParams;
 pub use state::{TransformedState, TwoWellState};
 

@@ -1,0 +1,218 @@
+//! Golden equivalence of the fleet-first construction API.
+//!
+//! PR 3 rebuilt every constructor around [`kibam::FleetSpec`]. Two things
+//! must hold for that redesign to be safe and useful:
+//!
+//! 1. **Uniform fleets are the old systems, bit for bit.** A fleet built
+//!    with `FleetSpec::uniform(params, n)` must reproduce the
+//!    `params × count` path exactly — same lifetimes in steps, same
+//!    residual charge bits, same optimal search node counts — across every
+//!    Table 3/5 load and policy.
+//! 2. **Mixed fleets work end to end.** A 1×B1 + 1×B2 system runs through
+//!    simulation and the optimal search, and the search dominates the
+//!    deterministic policies (the Table 5 shape, on a fleet the paper could
+//!    not express).
+
+use battery_sched::model::BatteryModel;
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
+use battery_sched::system::{simulate_policy, simulate_policy_with, SystemConfig};
+use dkibam::Discretization;
+use kibam::{BatteryParams, FleetSpec};
+use workload::paper_loads::TestLoad;
+
+fn policies() -> [fn() -> Box<dyn SchedulingPolicy>; 3] {
+    [
+        || Box::new(Sequential::new()),
+        || Box::new(RoundRobin::new()),
+        || Box::new(BestAvailable::new()),
+    ]
+}
+
+/// The uniform-fleet constructor reproduces the `params × count` path
+/// bit-identically for every paper load and policy on the discretized
+/// backend (lifetime steps and residual-charge bits).
+#[test]
+fn uniform_fleet_is_bit_identical_to_params_times_count() {
+    let params = BatteryParams::itsy_b1();
+    let disc = Discretization::paper_default();
+    let sugar = SystemConfig::new(params, disc, 2).unwrap();
+    let fleet = SystemConfig::from_fleet(FleetSpec::uniform(params, 2).unwrap(), disc);
+    assert_eq!(sugar, fleet, "the sugar constructor desugars to the same config");
+
+    for load in TestLoad::all() {
+        for policy in policies() {
+            let a = simulate_policy(&sugar, &load.profile(), policy().as_mut()).unwrap();
+            let b = simulate_policy(&fleet, &load.profile(), policy().as_mut()).unwrap();
+            assert_eq!(
+                a.lifetime_steps(),
+                b.lifetime_steps(),
+                "{load} {}: lifetimes must be bit-identical",
+                policy().name()
+            );
+            assert_eq!(
+                a.residual_charge().to_bits(),
+                b.residual_charge().to_bits(),
+                "{load} {}: residual charge must be bit-identical",
+                policy().name()
+            );
+        }
+    }
+}
+
+/// Table 5 golden values hold through the fleet path (ILs 500 row:
+/// sequential 8.60, round robin 10.48, best-of-two 10.48).
+#[test]
+fn table5_values_reproduce_through_the_fleet_path() {
+    let config = SystemConfig::from_fleet(
+        FleetSpec::uniform(BatteryParams::itsy_b1(), 2).unwrap(),
+        Discretization::paper_default(),
+    );
+    for (paper, policy) in [
+        (8.60, &mut Sequential::new() as &mut dyn SchedulingPolicy),
+        (10.48, &mut RoundRobin::new()),
+        (10.48, &mut BestAvailable::new()),
+    ] {
+        let lifetime = simulate_policy(&config, &TestLoad::Ils500.profile(), policy)
+            .unwrap()
+            .lifetime_minutes()
+            .unwrap();
+        assert!((lifetime - paper).abs() < 0.15, "{}: {lifetime} vs paper {paper}", policy.name());
+    }
+}
+
+/// Table 3 single-battery values hold for one-battery fleets on the
+/// continuous backend (CL 500 on B1: 2.02 min).
+#[test]
+fn table3_values_reproduce_through_single_battery_fleets() {
+    let config = SystemConfig::from_fleet(
+        FleetSpec::uniform(BatteryParams::itsy_b1(), 1).unwrap(),
+        Discretization::paper_default(),
+    );
+    let load = config.discretize(&TestLoad::Cl500.profile()).unwrap();
+    let mut model = config.continuous_model();
+    let lifetime = simulate_policy_with(&config, &load, &mut Sequential::new(), &mut model)
+        .unwrap()
+        .lifetime_minutes()
+        .unwrap();
+    assert!((lifetime - 2.02).abs() < 0.03, "CL 500 on B1: {lifetime} vs paper 2.02");
+}
+
+/// The optimal search is bit-identical between the two construction paths,
+/// including its node counts — the type-grouped canonical keys reduce
+/// exactly to the old global sort on uniform fleets, so memoization and
+/// dominance pruning fire on the same nodes.
+#[test]
+fn optimal_search_is_bit_identical_between_construction_paths() {
+    let params = BatteryParams::itsy_b1();
+    let disc = Discretization::coarse();
+    let sugar = SystemConfig::new(params, disc, 2).unwrap();
+    let fleet = SystemConfig::from_fleet(FleetSpec::uniform(params, 2).unwrap(), disc);
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt, TestLoad::Ils250] {
+        let a = OptimalScheduler::new().find_optimal(&sugar, &load.profile()).unwrap();
+        let b = OptimalScheduler::new().find_optimal(&fleet, &load.profile()).unwrap();
+        assert_eq!(a.lifetime_steps, b.lifetime_steps, "{load}: optimum must match");
+        assert_eq!(a.decisions, b.decisions, "{load}: decisions must match");
+        assert_eq!(a.nodes_explored, b.nodes_explored, "{load}: node counts must match");
+        assert_eq!(a.memo_hits, b.memo_hits, "{load}: memo hits must match");
+        assert_eq!(a.dominance_prunes, b.dominance_prunes, "{load}: prunes must match");
+    }
+}
+
+/// The 1×B1 + 1×B2 smoke grid: the mixed fleet simulates and searches end
+/// to end, the optimum dominates every deterministic policy, and the search
+/// reports pruning work on the mixed state space.
+#[test]
+fn mixed_b1_b2_optimal_dominates_deterministic_policies() {
+    let fleet = FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap();
+    let config = SystemConfig::from_fleet(fleet, Discretization::coarse());
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt, TestLoad::Ils500] {
+        let optimal = OptimalScheduler::new().find_optimal(&config, &load.profile()).unwrap();
+        assert!(optimal.nodes_explored > 0);
+        let mut best_policy = 0u64;
+        for policy in policies() {
+            let outcome = simulate_policy(&config, &load.profile(), policy().as_mut()).unwrap();
+            let lifetime = outcome.lifetime_steps().unwrap();
+            best_policy = best_policy.max(lifetime);
+            assert!(
+                optimal.lifetime_steps >= lifetime,
+                "{load}: optimal {} must dominate {} ({lifetime})",
+                optimal.lifetime_steps,
+                policy().name()
+            );
+        }
+        assert!(best_policy > 0, "{load}: the mixed fleet must serve the load");
+    }
+}
+
+/// The mixed fleet outlives the paper's uniform pair: 16.5 A·min of mixed
+/// capacity beats 11 A·min of 2×B1 under every policy on ILs 500.
+#[test]
+fn mixed_fleet_outlives_the_uniform_pair() {
+    let disc = Discretization::paper_default();
+    let uniform = SystemConfig::new(BatteryParams::itsy_b1(), disc, 2).unwrap();
+    let mixed = SystemConfig::from_fleet(
+        FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap(),
+        disc,
+    );
+    for policy in policies() {
+        let two_b1 = simulate_policy(&uniform, &TestLoad::Ils500.profile(), policy().as_mut())
+            .unwrap()
+            .lifetime_minutes()
+            .unwrap();
+        let b1_b2 = simulate_policy(&mixed, &TestLoad::Ils500.profile(), policy().as_mut())
+            .unwrap()
+            .lifetime_minutes()
+            .unwrap();
+        assert!(
+            b1_b2 > two_b1,
+            "{}: B1+B2 ({b1_b2}) must outlive 2xB1 ({two_b1})",
+            policy().name()
+        );
+    }
+}
+
+/// The ideal backend bounds both KiBaM backends from above on every load
+/// and fleet (no rate-capacity effect means no stranded charge).
+#[test]
+fn ideal_backend_is_an_upper_bound_for_kibam_backends() {
+    let disc = Discretization::paper_default();
+    for config in [
+        SystemConfig::new(BatteryParams::itsy_b1(), disc, 2).unwrap(),
+        SystemConfig::from_fleet(
+            FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap(),
+            disc,
+        ),
+    ] {
+        for load in [TestLoad::Cl500, TestLoad::Ils500, TestLoad::IlsAlt] {
+            let discretized_load = config.discretize(&load.profile()).unwrap();
+            let mut ideal = config.ideal_model();
+            let mut discretized = config.discretized_model();
+            let ideal_lifetime = simulate_policy_with(
+                &config,
+                &discretized_load,
+                &mut RoundRobin::new(),
+                &mut ideal,
+            )
+            .unwrap()
+            .lifetime_steps();
+            let kibam_lifetime = simulate_policy_with(
+                &config,
+                &discretized_load,
+                &mut RoundRobin::new(),
+                &mut discretized,
+            )
+            .unwrap()
+            .lifetime_steps()
+            .expect("paper loads exhaust the KiBaM batteries");
+            // The ideal system may outlast the (truncated) load entirely.
+            let ideal_lifetime = ideal_lifetime.unwrap_or(u64::MAX);
+            assert!(
+                ideal_lifetime >= kibam_lifetime,
+                "{load} ({}x): ideal {ideal_lifetime} vs kibam {kibam_lifetime}",
+                config.battery_count()
+            );
+            assert_eq!(ideal.backend_name(), "ideal");
+        }
+    }
+}
