@@ -51,6 +51,7 @@ struct Options {
     optimal: bool,
     optimal_out: String,
     max_nodes: Option<u64>,
+    baseline: Option<String>,
     fleet: Option<FleetDef>,
     fleet_out: String,
     random_cells: Option<usize>,
@@ -58,6 +59,7 @@ struct Options {
     random_out: String,
     analyze: bool,
     analyze_seeds: usize,
+    analyze_out: String,
 }
 
 fn parse_options() -> Options {
@@ -68,6 +70,7 @@ fn parse_options() -> Options {
         optimal: false,
         optimal_out: "BENCH_optimal.json".to_owned(),
         max_nodes: None,
+        baseline: None,
         fleet: None,
         fleet_out: "BENCH_fleet.json".to_owned(),
         random_cells: None,
@@ -75,6 +78,7 @@ fn parse_options() -> Options {
         random_out: "BENCH_random_grid.json".to_owned(),
         analyze: false,
         analyze_seeds: 12,
+        analyze_out: "BENCH_analyze.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +94,7 @@ fn parse_options() -> Options {
             "--optimal" => options.optimal = true,
             "--optimal-out" => options.optimal_out = value("--optimal-out"),
             "--max-nodes" => options.max_nodes = Some(parse(&value("--max-nodes"))),
+            "--baseline" => options.baseline = Some(value("--baseline")),
             "--fleet" => options.fleet = Some(parse_fleet(&value("--fleet"))),
             "--fleet-out" => options.fleet_out = value("--fleet-out"),
             "--random-cells" => options.random_cells = Some(parse(&value("--random-cells"))),
@@ -97,6 +102,7 @@ fn parse_options() -> Options {
             "--random-out" => options.random_out = value("--random-out"),
             "--analyze" => options.analyze = true,
             "--analyze-seeds" => options.analyze_seeds = parse(&value("--analyze-seeds")),
+            "--analyze-out" => options.analyze_out = value("--analyze-out"),
             other if !other.starts_with("--") => options.out = other.to_owned(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -220,31 +226,7 @@ fn run_gated_grid(options: &Options, spec: &ScenarioSpec, what: &str, out_path: 
         }
     };
     println!("ran in {:.2?}", start.elapsed());
-
-    println!("{:<32} {:>10} {:>12} {:>10} {:>10}", "scenario", "lifetime", "nodes", "memo", "dom");
-    let mut worst_nodes = 0u64;
-    for result in &results {
-        let (nodes, memo, dom) =
-            result.search.map_or((String::new(), String::new(), String::new()), |s| {
-                worst_nodes = worst_nodes.max(s.nodes_explored);
-                (
-                    s.nodes_explored.to_string(),
-                    s.memo_hits.to_string(),
-                    s.dominance_prunes.to_string(),
-                )
-            });
-        println!(
-            "{:<32} {:>10} {:>12} {:>10} {:>10}",
-            result.scenario.label(),
-            result
-                .lifetime_minutes
-                .map(|m| format!("{m:.2} min"))
-                .unwrap_or_else(|| "-".to_owned()),
-            nodes,
-            memo,
-            dom,
-        );
-    }
+    print_and_gate(&results, options.max_nodes, results.len());
 
     let json = results_to_json(spec, &results).expect("results serialize");
     if let Err(error) = std::fs::write(out_path, &json) {
@@ -252,21 +234,18 @@ fn run_gated_grid(options: &Options, spec: &ScenarioSpec, what: &str, out_path: 
         std::process::exit(1);
     }
     println!("wrote {} bytes to {out_path}\n", json.len());
-
-    if let Some(ceiling) = options.max_nodes {
-        if worst_nodes > ceiling {
-            eprintln!(
-                "node-count regression: worst optimal search explored {worst_nodes} nodes, \
-                 ceiling is {ceiling}"
-            );
-            std::process::exit(2);
-        }
-        println!("node gate ok: worst search {worst_nodes} <= ceiling {ceiling}\n");
-    }
 }
 
 /// Optimal-vs-policy on the coarse grid, with node counts; the node ceiling
-/// (`--max-nodes`) makes this the CI regression gate for the search.
+/// (`--max-nodes`) makes this the CI regression gate for the search, and
+/// `--baseline` additionally fails the run if any optimal cell explores
+/// more nodes than the committed `BENCH_optimal.json` recorded.
+///
+/// On top of the classic 2×B1 grid, the document carries the
+/// alternating-load *frontier* instance the availability bound newly
+/// contains — 3×B1 on `ILs alt` — as extra rows (the 4×B1 and
+/// 22 A·min mixed-fleet searches still exceed the 20M-node budget; see
+/// ROADMAP.md).
 fn run_optimal_grid(options: &Options) {
     let spec = ScenarioSpec {
         batteries: vec![BatterySpec::b1()],
@@ -283,12 +262,190 @@ fn run_optimal_grid(options: &Options) {
             PolicyKind::Sequential,
             PolicyKind::RoundRobin,
             PolicyKind::BestOfTwo,
+            PolicyKind::CapacityRr,
             PolicyKind::optimal(),
         ],
         backends: vec![BackendKind::Discretized],
     };
-    println!("optimal grid (coarse): {} scenarios", spec.scenario_count());
-    run_gated_grid(options, &spec, "optimal grid", &options.optimal_out);
+    let frontier = ScenarioSpec {
+        batteries: vec![],
+        battery_counts: vec![],
+        fleets: vec![FleetDef::uniform(BatterySpec::b1(), 3)],
+        discretizations: vec![DiscSpec::coarse()],
+        loads: vec![LoadSpec::Paper(TestLoad::IlsAlt)],
+        policies: vec![PolicyKind::optimal()],
+        backends: vec![BackendKind::Discretized],
+    };
+    println!(
+        "optimal grid (coarse): {} scenarios + {} frontier",
+        spec.scenario_count(),
+        frontier.scenario_count()
+    );
+
+    let start = Instant::now();
+    let mut results = match run_grid_with_threads(&spec, options.threads) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("optimal grid failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    match run_grid_with_threads(&frontier, options.threads) {
+        Ok(frontier_results) => results.extend(frontier_results),
+        Err(error) => {
+            eprintln!("optimal frontier failed: {error}");
+            std::process::exit(1);
+        }
+    }
+    println!("ran in {:.2?}", start.elapsed());
+
+    // The baseline is loaded *before* the results overwrite its file, and
+    // the document is written *before* the gates run, so a failing CI run
+    // still leaves the fresh artifact behind for baseline regeneration.
+    let baseline = options.baseline.as_deref().map(load_baseline);
+    let document = JsonValue::object(vec![
+        ("spec", spec.to_json_value()),
+        ("frontier_spec", frontier.to_json_value()),
+        (
+            "results",
+            JsonValue::Array(results.iter().map(engine::ScenarioResult::to_json_value).collect()),
+        ),
+    ]);
+    let json = document.render().expect("results serialize");
+    if let Err(error) = std::fs::write(&options.optimal_out, &json) {
+        eprintln!("cannot write {}: {error}", options.optimal_out);
+        std::process::exit(1);
+    }
+    println!("wrote {} bytes to {}\n", json.len(), options.optimal_out);
+
+    // The ceiling applies to the classic small grid; the frontier rows are
+    // gated by the per-cell baseline comparison instead.
+    print_and_gate(&results, options.max_nodes, spec.scenario_count());
+    if let Some(baseline) = baseline {
+        check_baseline(&baseline, &results);
+    }
+}
+
+/// Prints the result table and enforces the node ceiling over the first
+/// `ceiling_rows` rows (the rows beyond are baseline-gated frontier cells).
+fn print_and_gate(results: &[engine::ScenarioResult], max_nodes: Option<u64>, ceiling_rows: usize) {
+    println!(
+        "{:<32} {:>10} {:>12} {:>9} {:>7} {:>9} {:>9}",
+        "scenario", "lifetime", "nodes", "memo", "dom", "charge", "avail"
+    );
+    let mut worst_nodes = 0u64;
+    for (index, result) in results.iter().enumerate() {
+        let stats = result.search.map(|s| {
+            if index < ceiling_rows {
+                worst_nodes = worst_nodes.max(s.nodes_explored);
+            }
+            s
+        });
+        let fmt = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_default();
+        println!(
+            "{:<32} {:>10} {:>12} {:>9} {:>7} {:>9} {:>9}",
+            result.scenario.label(),
+            result
+                .lifetime_minutes
+                .map(|m| format!("{m:.2} min"))
+                .unwrap_or_else(|| "-".to_owned()),
+            fmt(stats.map(|s| s.nodes_explored)),
+            fmt(stats.map(|s| s.memo_hits)),
+            fmt(stats.map(|s| s.dominance_prunes)),
+            fmt(stats.map(|s| s.charge_bound_prunes)),
+            fmt(stats.map(|s| s.availability_bound_prunes)),
+        );
+    }
+    if let Some(ceiling) = max_nodes {
+        if worst_nodes > ceiling {
+            eprintln!(
+                "node-count regression: worst optimal search explored {worst_nodes} nodes, \
+                 ceiling is {ceiling}"
+            );
+            std::process::exit(2);
+        }
+        println!("node gate ok: worst search {worst_nodes} <= ceiling {ceiling}\n");
+    }
+}
+
+/// Loads a committed baseline document into a `(fleet load policy
+/// backend) -> nodes_explored` map (see [`check_baseline`]).
+fn load_baseline(path: &str) -> std::collections::HashMap<String, u64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read baseline {path}: {error}");
+            std::process::exit(1);
+        }
+    };
+    let (_, rows) = match results_from_json(&text) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("cannot parse baseline {path}: {error}");
+            std::process::exit(1);
+        }
+    };
+    let mut baseline = std::collections::HashMap::new();
+    for row in &rows {
+        let (Some(fleet), Some(load), Some(policy), Some(backend)) = (
+            row.get("fleet").and_then(JsonValue::as_str),
+            row.get("load").and_then(JsonValue::as_str),
+            row.get("policy").and_then(JsonValue::as_str),
+            row.get("backend").and_then(JsonValue::as_str),
+        ) else {
+            continue;
+        };
+        if let Some(nodes) = row.get("nodes_explored").and_then(JsonValue::as_u64) {
+            baseline.insert(format!("{fleet} {load} {policy} {backend}"), nodes);
+        }
+    }
+    if baseline.is_empty() {
+        eprintln!("baseline {path} holds no optimal cells — refusing to gate against nothing");
+        std::process::exit(1);
+    }
+    baseline
+}
+
+/// Fails the run if any optimal cell explores more nodes than the committed
+/// baseline document records for the same (fleet, load, policy, backend),
+/// or if a baseline cell is no longer produced at all (a silently dropped
+/// scenario must not pass as "nothing regressed"). Cells without a
+/// baseline entry are new and noted, not gated.
+fn check_baseline(
+    baseline: &std::collections::HashMap<String, u64>,
+    results: &[engine::ScenarioResult],
+) {
+    let mut checked = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for result in results {
+        let Some(stats) = result.search else { continue };
+        let label = result.scenario.label();
+        match baseline.get(&label) {
+            Some(&old) if stats.nodes_explored > old => {
+                eprintln!(
+                    "baseline regression: {label} explored {} nodes, baseline {old}",
+                    stats.nodes_explored
+                );
+                std::process::exit(2);
+            }
+            Some(_) => {
+                checked += 1;
+                seen.insert(label);
+            }
+            None => println!("baseline note: no entry for '{label}' (new cell)"),
+        }
+    }
+    let mut dropped: Vec<&String> =
+        baseline.keys().filter(|label| !seen.contains(label.as_str())).collect();
+    if !dropped.is_empty() {
+        dropped.sort();
+        for label in dropped {
+            eprintln!("baseline cell '{label}' was not produced by this run");
+        }
+        eprintln!("a dropped cell silently removes its regression gate — failing");
+        std::process::exit(2);
+    }
+    println!("baseline gate ok: {checked} optimal cells at or below the baseline\n");
 }
 
 /// A heterogeneous fleet on the coarse grid: deterministic policies next to
@@ -304,6 +461,7 @@ fn run_fleet_grid(options: &Options, fleet: FleetDef) {
             PolicyKind::Sequential,
             PolicyKind::RoundRobin,
             PolicyKind::BestOfTwo,
+            PolicyKind::CapacityRr,
             PolicyKind::optimal(),
         ],
         backends: vec![BackendKind::Discretized],
@@ -351,7 +509,7 @@ fn print_seed_vs_memoized() {
 
 /// A large random-load seed sweep, streamed to disk while it runs.
 fn run_random_grid(options: &Options, cells: usize) {
-    let policies = vec![PolicyKind::Sequential, PolicyKind::RoundRobin, PolicyKind::BestOfTwo];
+    let policies = PolicyKind::deterministic().to_vec();
     let seeds = cells.div_ceil(policies.len()).max(1);
     let spec = ScenarioSpec {
         batteries: vec![BatterySpec::b1()],
@@ -417,10 +575,49 @@ fn lifetimes_by_policy(rows: &[JsonValue]) -> Vec<(String, Vec<(String, f64)>)> 
     policies
 }
 
+/// The gap-percentage histogram buckets of the analyze summary.
+const GAP_BUCKETS: [(&str, f64, f64); 6] = [
+    ("0%", 0.0, 0.0),
+    ("(0,1]%", 0.0, 1.0),
+    ("(1,2]%", 1.0, 2.0),
+    ("(2,5]%", 2.0, 5.0),
+    ("(5,10]%", 5.0, 10.0),
+    (">10%", 10.0, f64::INFINITY),
+];
+
+/// Counts `gaps` (relative gains, in percent) into the [`GAP_BUCKETS`]
+/// histogram and renders it as a JSON array.
+fn gap_histogram(gaps: &[f64]) -> JsonValue {
+    JsonValue::Array(
+        GAP_BUCKETS
+            .iter()
+            .map(|&(label, low, high)| {
+                #[allow(clippy::cast_precision_loss)]
+                let count = gaps
+                    .iter()
+                    .filter(|&&gap| {
+                        if low == 0.0 && high == 0.0 {
+                            gap <= 0.0
+                        } else {
+                            gap > low && gap <= high
+                        }
+                    })
+                    .count() as f64;
+                JsonValue::object(vec![
+                    ("bucket", JsonValue::String(label.to_owned())),
+                    ("count", JsonValue::Number(count)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// Summarizes the streamed random grid (`--random-out`): per-policy mean
-/// lifetimes, best-of-two-vs-round-robin gap counts, and an
+/// lifetimes, best-of-two-vs-round-robin gap histograms, and an
 /// optimal-vs-best-of-two comparison on a coarse sub-grid of the seeds —
-/// the random-workload study of the Section 7 outlook, in stub form.
+/// the random-workload study of the Section 7 outlook. The summary is
+/// printed *and* archived as machine-readable JSON (`--analyze-out`,
+/// `BENCH_analyze.json`) so the trajectory can be diffed across commits.
 fn run_analyze(options: &Options) {
     let text = match std::fs::read_to_string(&options.random_out) {
         Ok(text) => text,
@@ -442,31 +639,50 @@ fn run_analyze(options: &Options) {
 
     let policies = lifetimes_by_policy(&rows);
     println!("analyze: {} result rows from {}", rows.len(), options.random_out);
+    let mut policy_rows = Vec::new();
     for (policy, cells) in &policies {
         #[allow(clippy::cast_precision_loss)]
         let mean = cells.iter().map(|(_, m)| m).sum::<f64>() / cells.len().max(1) as f64;
         println!("  {policy:<14} {:>6} cells, mean lifetime {mean:.2} min", cells.len());
+        #[allow(clippy::cast_precision_loss)]
+        policy_rows.push(JsonValue::object(vec![
+            ("policy", JsonValue::String(policy.clone())),
+            ("cells", JsonValue::Number(cells.len() as f64)),
+            ("mean_lifetime_minutes", JsonValue::Number(mean)),
+        ]));
     }
+    #[allow(clippy::cast_precision_loss)]
+    let mut document = vec![
+        ("rows", JsonValue::Number(rows.len() as f64)),
+        ("policies", JsonValue::Array(policy_rows)),
+    ];
 
-    // Best-of-two vs round-robin, matched per load.
+    // Best-of-two vs round-robin, matched per load, with a gap histogram.
     let find = |name: &str| policies.iter().find(|(p, _)| p == name).map(|(_, c)| c);
     if let (Some(rr), Some(best)) = (find("round-robin"), find("best-of-two")) {
-        let mut better = 0usize;
-        let mut matched = 0usize;
-        let mut max_gain = 0.0f64;
+        let mut gaps = Vec::new();
         for (load, best_lifetime) in best {
             let Some((_, rr_lifetime)) = rr.iter().find(|(l, _)| l == load) else { continue };
-            matched += 1;
-            if best_lifetime > &(rr_lifetime + 1e-9) {
-                better += 1;
-                max_gain = max_gain.max((best_lifetime - rr_lifetime) / rr_lifetime);
-            }
+            let gap = (best_lifetime - rr_lifetime) / rr_lifetime * 100.0;
+            gaps.push(if gap > 1e-7 { gap } else { 0.0 });
         }
+        let better = gaps.iter().filter(|&&g| g > 0.0).count();
+        let max_gain = gaps.iter().copied().fold(0.0f64, f64::max);
         println!(
-            "  best-of-two beats round-robin on {better}/{matched} random loads \
-             (max gain {:.1}%)",
-            max_gain * 100.0
+            "  best-of-two beats round-robin on {better}/{} random loads \
+             (max gain {max_gain:.1}%)",
+            gaps.len(),
         );
+        #[allow(clippy::cast_precision_loss)]
+        document.push((
+            "best_vs_round_robin",
+            JsonValue::object(vec![
+                ("matched", JsonValue::Number(gaps.len() as f64)),
+                ("better", JsonValue::Number(better as f64)),
+                ("max_gain_percent", JsonValue::Number(max_gain)),
+                ("gap_histogram", gap_histogram(&gaps)),
+            ]),
+        ));
     }
 
     // Optimal-vs-best-of-two on a coarse sub-grid of the same seeds: the
@@ -476,6 +692,7 @@ fn run_analyze(options: &Options) {
     let sub_loads: Vec<LoadSpec> = spec.loads.iter().take(options.analyze_seeds).cloned().collect();
     if sub_loads.is_empty() {
         println!("  (no random loads in the document; skipping the optimal sub-grid)");
+        write_analyze(options, document);
         return;
     }
     let sub_spec = ScenarioSpec {
@@ -495,9 +712,7 @@ fn run_analyze(options: &Options) {
             std::process::exit(1);
         }
     };
-    let mut gaps = 0usize;
-    let mut seeds = 0usize;
-    let mut max_gap = 0.0f64;
+    let mut gap_list = Vec::new();
     for pair in results.chunks(2) {
         let [best, optimal] = pair else { continue };
         let (Some(best_lifetime), Some(optimal_lifetime)) =
@@ -505,16 +720,42 @@ fn run_analyze(options: &Options) {
         else {
             continue;
         };
-        seeds += 1;
-        if optimal_lifetime > best_lifetime + 1e-9 {
-            gaps += 1;
-            max_gap = max_gap.max((optimal_lifetime - best_lifetime) / best_lifetime);
-        }
+        let gap = (optimal_lifetime - best_lifetime) / best_lifetime * 100.0;
+        gap_list.push(if gap > 1e-7 { gap } else { 0.0 });
     }
+    let seeds = gap_list.len();
+    let gaps = gap_list.iter().filter(|&&g| g > 0.0).count();
+    let max_gap = gap_list.iter().copied().fold(0.0f64, f64::max);
     println!(
         "  coarse sub-grid ({seeds} seeds, {:.2?}): optimal beats best-of-two on \
-         {gaps}/{seeds} loads (max gap {:.1}%)",
+         {gaps}/{seeds} loads (max gap {max_gap:.1}%)",
         start.elapsed(),
-        max_gap * 100.0
     );
+    #[allow(clippy::cast_precision_loss)]
+    document.push((
+        "optimal_sub_grid",
+        JsonValue::object(vec![
+            ("seeds", JsonValue::Number(seeds as f64)),
+            ("optimal_better", JsonValue::Number(gaps as f64)),
+            ("max_gap_percent", JsonValue::Number(max_gap)),
+            ("gap_histogram", gap_histogram(&gap_list)),
+        ]),
+    ));
+    write_analyze(options, document);
+}
+
+/// Renders and writes the analyze summary document (`--analyze-out`).
+fn write_analyze(options: &Options, fields: Vec<(&str, JsonValue)>) {
+    let json = match JsonValue::object(fields).render() {
+        Ok(json) => json,
+        Err(error) => {
+            eprintln!("cannot render the analyze summary: {error}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(error) = std::fs::write(&options.analyze_out, &json) {
+        eprintln!("cannot write {}: {error}", options.analyze_out);
+        std::process::exit(1);
+    }
+    println!("wrote {} bytes to {}\n", json.len(), options.analyze_out);
 }

@@ -146,6 +146,20 @@ impl BatteryModel for DiscretizedKibam {
             .sum()
     }
 
+    fn service_envelope_into(
+        &self,
+        index: usize,
+        max_units_per_draw: u32,
+        out: &mut dkibam::ServiceEnvelope,
+    ) -> Option<&dkibam::ServiceRateTable> {
+        let battery = &self.state.batteries()[index];
+        let table = self.fleet.service_of(index);
+        // A retired battery serves nothing, ever: build from zero charge.
+        let charge = if battery.is_observed_empty() { 0 } else { battery.charge_units() };
+        table.build_envelope(charge, battery.height_units(), max_units_per_draw, out);
+        Some(table)
+    }
+
     fn states_identical(&self, a: usize, b: usize) -> bool {
         self.fleet.type_of(a) == self.fleet.type_of(b)
             && self.state.batteries()[a] == self.state.batteries()[b]

@@ -166,6 +166,12 @@ impl BatteryModel for IdealBattery {
             .sum()
     }
 
+    // `service_envelope_into` deliberately stays at the trait default
+    // (`None`): an ideal battery has no recovery dynamics to couple to, so
+    // the availability bound has nothing to add over charge accounting —
+    // the search degrades to the plain charge bound, which is exact for
+    // linear batteries.
+
     fn states_identical(&self, a: usize, b: usize) -> bool {
         self.fleet.type_of(a) == self.fleet.type_of(b) && self.cells[a] == self.cells[b]
     }

@@ -22,8 +22,9 @@
 //!   [`backends::IdealBattery`] (the linear cross-model baseline);
 //! * the three deterministic scheduling policies compared in the paper —
 //!   [`policy::Sequential`], [`policy::RoundRobin`] and
-//!   [`policy::BestAvailable`] ("best of two") — plus replay of explicit
-//!   schedules ([`policy::FixedSchedule`]);
+//!   [`policy::BestAvailable`] ("best of two") — a fleet-aware
+//!   [`policy::CapacityWeightedRoundRobin`] baseline, plus replay of
+//!   explicit schedules ([`policy::FixedSchedule`]);
 //! * a multi-battery system simulator, generic over the backend
 //!   ([`system::simulate_policy_with`]; [`system::simulate_policy`] runs the
 //!   discretized default) that produces lifetimes, schedules and charge

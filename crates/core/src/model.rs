@@ -308,6 +308,32 @@ pub trait BatteryModel {
     /// this: retired charge can never be delivered.
     fn usable_charge(&self) -> f64;
 
+    /// Builds the recovery-coupled service envelope of battery `index` —
+    /// an admissible upper bound on the charge units it could serve within
+    /// any future window, given its *current* state — into `out`, and
+    /// returns the battery type's [`dkibam::ServiceRateTable`] for
+    /// querying it ([`dkibam::ServiceRateTable::units_within`]).
+    /// `max_units_per_draw` is the largest single-draw size of the load
+    /// ahead (one final draw may overshoot the battery's service
+    /// frontier).
+    ///
+    /// The envelope may never undercount what a real schedule can extract
+    /// — the availability-aware bound of the optimal search prunes on it,
+    /// and an undercount would prune optimal schedules. Backends that
+    /// cannot bound service return `None` (the default), which disables
+    /// the availability bound and degrades the search to pure charge
+    /// accounting. Retired batteries must report an envelope capped at
+    /// zero units.
+    fn service_envelope_into(
+        &self,
+        index: usize,
+        max_units_per_draw: u32,
+        out: &mut dkibam::ServiceEnvelope,
+    ) -> Option<&dkibam::ServiceRateTable> {
+        let _ = (index, max_units_per_draw, out);
+        None
+    }
+
     /// Whether batteries `a` and `b` are in identical states, so a search
     /// need only branch on one of them (symmetry pruning).
     fn states_identical(&self, a: usize, b: usize) -> bool;

@@ -6,10 +6,24 @@
 //! state, branching only at scheduling points (job starts and battery-empty
 //! events), with
 //!
-//! * an **upper bound** on the remaining lifetime derived from the remaining
-//!   usable charge and the load ahead (a schedule can never outlive the
-//!   point at which the load has requested more charge than all batteries
-//!   jointly hold),
+//! * a **charge upper bound** on the remaining lifetime derived from the
+//!   remaining usable charge and the load ahead (a schedule can never
+//!   outlive the point at which the load has requested more charge than all
+//!   batteries jointly hold),
+//! * an **availability upper bound** that couples per-battery draw/recovery
+//!   dynamics with the load's duty cycle: each battery reports an
+//!   admissible service envelope ([`BatteryModel::service_envelope_into`],
+//!   backed by the per-type [`dkibam::ServiceRateTable`]) bounding the
+//!   units it can serve within any window given the demand delivered by
+//!   then, and the bound walks the remaining epochs charging every draw
+//!   against both the joint charge budget and the fleet's joint
+//!   availability. On loads that strand charge (`ILs alt` leaves ~70 %
+//!   behind) the charge bound never fires — batteries die from the Eq. 8
+//!   emptiness criterion, not exhaustion — while the availability bound
+//!   tracks exactly that criterion: it shrinks the 3-battery alternating
+//!   search ~4× (53.6k nodes vs 208.5k, pinned in
+//!   `tests/bound_admissibility.rs`) and fires on roughly half of all
+//!   nodes there, where the charge bound fires on none,
 //! * **symmetry pruning** (batteries in identical states need only be tried
 //!   once),
 //! * a **transposition table** keyed by the canonicalized battery state and
@@ -20,20 +34,26 @@
 //!   an elder sibling or any transposition — is skipped; the table keeps
 //!   only the Pareto front of expanded states per position
 //!   ([`OptimalOutcome::dominance_prunes`]), and
-//! * **warm starting** from the best deterministic policy, so that only
-//!   branches that can still beat round-robin/best-of-two are explored.
+//! * **warm starting** from the best of *all* deterministic policies
+//!   (sequential, round robin, best-of-two, capacity-weighted round
+//!   robin), so the bounds are maximally effective from node 0;
+//!   [`OptimalOutcome::seeded_by`] reports which policy provided the
+//!   incumbent.
 //!
 //! The search runs on an explicit stack (no recursion) and is
 //! allocation-free per node in steady state: snapshots live in a pool
 //! indexed by depth, candidate buffers are arenas that grow only to the
 //! search's high-water mark, and availability queries reuse one buffer.
 //!
-//! How much the table prunes depends on the load: deep searches with
+//! How much each pruning buys depends on the load: deep searches with
 //! converging histories (e.g. `ILs 250`, random loads, three-battery
-//! systems) shrink 5–10×, while short alternating loads on two batteries
-//! (`ILs alt`) are already near-minimal after symmetry pruning — the seed's
-//! candidate deduplication removes permutation branches at the source, so
-//! there is nothing left to memoize. The bench harness
+//! systems) shrink 5–10× under the transposition table, while short
+//! alternating loads on two batteries (`ILs alt`) are already near-minimal
+//! after symmetry pruning and only the availability bound trims them
+//! further. The 4×B1 and 22 A·min 2×B1+B2 alternating searches remain the
+//! open frontier: the availability bound's fluid relaxation is ~2× above
+//! the true optimum at the root, and both instances still exceed 200M
+//! nodes (`examples/frontier_probe.rs` measures this). The bench harness
 //! (`cargo run --release -p bench --bin scenarios -- --optimal`) prints the
 //! per-load node counts of both searches.
 //!
@@ -48,10 +68,12 @@
 //! realises it (replayable through [`crate::policy::FixedSchedule`]).
 
 use crate::model::{BatteryModel, StateKey};
-use crate::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
+use crate::policy::{
+    BestAvailable, CapacityWeightedRoundRobin, RoundRobin, SchedulingPolicy, Sequential,
+};
 use crate::system::{simulate_policy_with, SystemConfig};
 use crate::SchedError;
-use dkibam::{DiscreteEpoch, DiscretizedLoad};
+use dkibam::{DiscreteEpoch, DiscretizedLoad, EnvelopeCursor, ServiceEnvelope, ServiceRateTable};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use workload::LoadProfile;
@@ -120,6 +142,11 @@ type FxBuild = BuildHasherDefault<FxHasher>;
 /// Default node budget of the search (decision nodes, not states).
 pub const DEFAULT_BUDGET: usize = 20_000_000;
 
+/// The most batteries the availability bound handles (per-battery table
+/// references live in a fixed-size array on the bound's hot path); larger
+/// fleets simply skip the availability bound.
+const MAX_BOUND_BATTERIES: usize = 8;
+
 /// The most Pareto-maximal expanded states retained per load position for
 /// dominance checks. The cap bounds both memory and the per-node scan cost;
 /// states beyond it are still explored, just not recorded as pruners.
@@ -156,7 +183,14 @@ pub struct OptimalOutcome {
     /// least as good.
     pub dominance_prunes: usize,
     /// Nodes cut by the usable-charge upper bound against the incumbent.
-    pub bound_prunes: usize,
+    pub charge_bound_prunes: usize,
+    /// Nodes cut by the availability-aware upper bound (recovery-coupled
+    /// service envelopes) after the charge bound failed to fire.
+    pub availability_bound_prunes: usize,
+    /// The deterministic policy whose simulated lifetime seeded the warm
+    /// start incumbent, or `None` if no policy produced a lifetime (the
+    /// load ended before the batteries died under every policy).
+    pub seeded_by: Option<&'static str>,
 }
 
 impl OptimalOutcome {
@@ -173,6 +207,7 @@ pub struct OptimalScheduler {
     budget: usize,
     memoize: bool,
     dominance: bool,
+    availability: bool,
 }
 
 impl Default for OptimalScheduler {
@@ -183,10 +218,10 @@ impl Default for OptimalScheduler {
 
 impl OptimalScheduler {
     /// Creates a scheduler with the default node budget and all prunings
-    /// (memoization + dominance) enabled.
+    /// (memoization + dominance + the availability bound) enabled.
     #[must_use]
     pub fn new() -> Self {
-        Self { budget: DEFAULT_BUDGET, memoize: true, dominance: true }
+        Self { budget: DEFAULT_BUDGET, memoize: true, dominance: true, availability: true }
     }
 
     /// Creates a scheduler with an explicit node budget. The search fails
@@ -197,14 +232,15 @@ impl OptimalScheduler {
         Self { budget, ..Self::new() }
     }
 
-    /// A reference scheduler with memoization and dominance pruning
-    /// disabled: the plain bounded search (upper bound + symmetry + warm
-    /// start only). Equivalence tests and the bench harness compare the
-    /// pruned search against this one — both must return identical
-    /// lifetimes, the pruned one in (far) fewer nodes.
+    /// A reference scheduler with memoization, dominance pruning and the
+    /// availability bound disabled: the plain bounded search (charge
+    /// bound, symmetry and warm start only — the seed search).
+    /// Equivalence tests and the bench harness compare the pruned search
+    /// against this one — both must return identical lifetimes, the
+    /// pruned one in (far) fewer nodes.
     #[must_use]
     pub fn reference() -> Self {
-        Self { budget: DEFAULT_BUDGET, memoize: false, dominance: false }
+        Self { budget: DEFAULT_BUDGET, memoize: false, dominance: false, availability: false }
     }
 
     /// Disables the transposition table (for ablation and equivalence
@@ -220,6 +256,15 @@ impl OptimalScheduler {
     #[must_use]
     pub fn without_dominance(mut self) -> Self {
         self.dominance = false;
+        self
+    }
+
+    /// Disables the availability-aware bound, leaving only the charge
+    /// bound (for ablation: this is the full pre-availability search, so
+    /// node-count comparisons against it isolate what the new bound buys).
+    #[must_use]
+    pub fn without_availability_bound(mut self) -> Self {
+        self.availability = false;
         self
     }
 
@@ -273,47 +318,9 @@ impl OptimalScheduler {
         load: &DiscretizedLoad,
         model: &mut M,
     ) -> Result<OptimalOutcome, SchedError> {
-        // Warm start: the best deterministic policy provides the initial
-        // incumbent, which makes the bound effective from the first node.
-        let mut incumbent_steps = 0u64;
-        let mut incumbent_decisions = Vec::new();
-        for policy in [
-            &mut Sequential::new() as &mut dyn SchedulingPolicy,
-            &mut RoundRobin::new(),
-            &mut BestAvailable::new(),
-        ] {
-            let outcome = simulate_policy_with(config, load, policy, model)?;
-            if let Some(steps) = outcome.lifetime_steps() {
-                if steps > incumbent_steps {
-                    incumbent_steps = steps;
-                    incumbent_decisions = outcome.schedule().decisions();
-                }
-            }
-        }
-
-        model.reset();
-        let mut search = Search {
-            model,
-            epochs: load.epochs(),
-            charge_unit: config.disc().charge_unit(),
-            budget: self.budget,
-            memoize: self.memoize,
-            dominance: self.dominance,
-            nodes: 0,
-            memo_hits: 0,
-            dominance_prunes: 0,
-            bound_prunes: 0,
-            best_steps: incumbent_steps,
-            best_decisions: incumbent_decisions,
-            current_decisions: Vec::new(),
-            stack: Vec::new(),
-            pool: Vec::new(),
-            candidates: Vec::new(),
-            avail: Vec::new(),
-            seen: HashMap::default(),
-            fronts: HashMap::default(),
-            front_entries: 0,
-        };
+        let warm = warm_start(config, load, model)?;
+        let seeded_by = warm.seeded_by;
+        let mut search = Search::new(config, load, model, *self, warm);
         search.explore()?;
 
         Ok(OptimalOutcome {
@@ -322,9 +329,71 @@ impl OptimalScheduler {
             nodes_explored: search.nodes,
             memo_hits: search.memo_hits,
             dominance_prunes: search.dominance_prunes,
-            bound_prunes: search.bound_prunes,
+            charge_bound_prunes: search.charge_bound_prunes,
+            availability_bound_prunes: search.availability_bound_prunes,
+            seeded_by,
         })
     }
+}
+
+impl OptimalScheduler {
+    /// Evaluates the search's two upper bounds at the root position (fresh
+    /// fleet, start of load) without searching, plus the warm-start
+    /// incumbent: `(charge_bound, availability_bound, warm_start_steps)`.
+    /// Diagnostic API for bound-tightness tests and the bench harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the warm-start policies.
+    pub fn probe_root_bounds<M: BatteryModel>(
+        config: &SystemConfig,
+        load: &DiscretizedLoad,
+        model: &mut M,
+    ) -> Result<(u64, u64, u64), SchedError> {
+        let warm = warm_start(config, load, model)?;
+        let incumbent_steps = warm.steps;
+        // Bounds are probed against a zeroed incumbent so they never
+        // early-exit at the pruning margin.
+        let probe = WarmStart { steps: 0, decisions: Vec::new(), seeded_by: None };
+        let mut search = Search::new(config, load, model, OptimalScheduler::new(), probe);
+        let charge = search.charge_bound(0, 0);
+        let availability = search.availability_bound(0, 0, u64::MAX);
+        Ok((charge, availability, incumbent_steps))
+    }
+}
+
+/// The warm-start incumbent: the best deterministic-policy schedule.
+struct WarmStart {
+    steps: u64,
+    decisions: Vec<usize>,
+    seeded_by: Option<&'static str>,
+}
+
+/// Simulates every deterministic policy and returns the best lifetime as
+/// the search's initial incumbent, which makes the bounds maximally
+/// effective from the first node.
+fn warm_start<M: BatteryModel>(
+    config: &SystemConfig,
+    load: &DiscretizedLoad,
+    model: &mut M,
+) -> Result<WarmStart, SchedError> {
+    let mut warm = WarmStart { steps: 0, decisions: Vec::new(), seeded_by: None };
+    for (name, policy) in [
+        ("sequential", &mut Sequential::new() as &mut dyn SchedulingPolicy),
+        ("round robin", &mut RoundRobin::new()),
+        ("best of two", &mut BestAvailable::new()),
+        ("capacity-weighted round robin", &mut CapacityWeightedRoundRobin::new()),
+    ] {
+        let outcome = simulate_policy_with(config, load, policy, model)?;
+        if let Some(steps) = outcome.lifetime_steps() {
+            if steps > warm.steps {
+                warm.steps = steps;
+                warm.decisions = outcome.schedule().decisions();
+                warm.seeded_by = Some(name);
+            }
+        }
+    }
+    Ok(warm)
 }
 
 /// One decision node on the explicit DFS stack. The frame at stack index
@@ -349,13 +418,17 @@ struct Search<'a, M: BatteryModel> {
     model: &'a mut M,
     epochs: &'a [DiscreteEpoch],
     charge_unit: f64,
+    /// Largest single-draw size in the load, for the service envelopes.
+    max_units_per_draw: u32,
     budget: usize,
     memoize: bool,
     dominance: bool,
+    availability: bool,
     nodes: usize,
     memo_hits: usize,
     dominance_prunes: usize,
-    bound_prunes: usize,
+    charge_bound_prunes: usize,
+    availability_bound_prunes: usize,
     best_steps: u64,
     best_decisions: Vec<usize>,
     current_decisions: Vec<usize>,
@@ -367,6 +440,15 @@ struct Search<'a, M: BatteryModel> {
     candidates: Vec<usize>,
     /// Reusable availability buffer.
     avail: Vec<usize>,
+    /// Reusable per-battery service envelopes for the availability bound.
+    envelopes: Vec<ServiceEnvelope>,
+    /// Per-battery envelope cursors of the availability walk (windows and
+    /// demands are queried in non-decreasing order, so each cursor only
+    /// moves forward).
+    cursors: Vec<EnvelopeCursor>,
+    /// Cursor snapshot at the start of the epoch under test, for the
+    /// in-epoch death scan (whose windows restart below the epoch's end).
+    cursors_mark: Vec<EnvelopeCursor>,
     /// Transposition table: the lifetime accumulated when a canonical state
     /// was first expanded at a load position. Exact-equality revisits are
     /// pruned in O(1).
@@ -377,6 +459,53 @@ struct Search<'a, M: BatteryModel> {
     fronts: HashMap<(usize, u64), Vec<(StateKey, u64)>, FxBuild>,
     /// Total entries across all fronts, enforcing [`MAX_FRONT_ENTRIES`].
     front_entries: usize,
+}
+
+impl<'a, M: BatteryModel> Search<'a, M> {
+    /// Builds a search over `load` against a freshly reset `model`, with
+    /// the scheduler's pruning configuration and a warm-start incumbent.
+    fn new(
+        config: &SystemConfig,
+        load: &'a DiscretizedLoad,
+        model: &'a mut M,
+        scheduler: OptimalScheduler,
+        warm: WarmStart,
+    ) -> Self {
+        // The largest single draw of the load ahead, for the service
+        // envelopes (a battery's recovery state may overshoot its
+        // serviceable band by at most one draw).
+        let max_units_per_draw =
+            load.epochs().iter().map(DiscreteEpoch::units_per_draw).max().unwrap_or(0);
+        model.reset();
+        Search {
+            model,
+            epochs: load.epochs(),
+            charge_unit: config.disc().charge_unit(),
+            max_units_per_draw,
+            budget: scheduler.budget,
+            memoize: scheduler.memoize,
+            dominance: scheduler.dominance,
+            availability: scheduler.availability,
+            nodes: 0,
+            memo_hits: 0,
+            dominance_prunes: 0,
+            charge_bound_prunes: 0,
+            availability_bound_prunes: 0,
+            best_steps: warm.steps,
+            best_decisions: warm.decisions,
+            current_decisions: Vec::new(),
+            stack: Vec::new(),
+            pool: Vec::new(),
+            candidates: Vec::new(),
+            avail: Vec::new(),
+            envelopes: Vec::new(),
+            cursors: Vec::new(),
+            cursors_mark: Vec::new(),
+            seen: HashMap::default(),
+            fronts: HashMap::default(),
+            front_entries: 0,
+        }
+    }
 }
 
 impl<M: BatteryModel> Search<'_, M> {
@@ -471,11 +600,23 @@ impl<M: BatteryModel> Search<'_, M> {
             return Err(SchedError::SearchBudgetExceeded { budget: self.budget });
         }
 
-        // Bound: even if every remaining unit of usable charge were
+        // Charge bound: even if every remaining unit of usable charge were
         // extractable, the load ahead limits how long the system can live.
-        if elapsed + self.upper_bound(epoch_index, offset) <= self.best_steps {
-            self.bound_prunes += 1;
+        if elapsed + self.charge_bound(epoch_index, offset) <= self.best_steps {
+            self.charge_bound_prunes += 1;
             return Ok(false);
+        }
+        // Availability bound: recovery dynamics limit how fast that charge
+        // can actually be served. Evaluated only when the (cheaper) charge
+        // bound fails to fire, so the split counters attribute each prune
+        // to the weakest bound that achieves it.
+        if self.availability {
+            let margin = self.best_steps.saturating_sub(elapsed);
+            let bound = self.availability_bound(epoch_index, offset, margin);
+            if elapsed.saturating_add(bound) <= self.best_steps {
+                self.availability_bound_prunes += 1;
+                return Ok(false);
+            }
         }
 
         // Transposition table + dominance pruning. An earlier visit of the
@@ -595,11 +736,11 @@ impl<M: BatteryModel> Search<'_, M> {
         }
     }
 
-    /// Upper bound on the additional lifetime obtainable from this position:
-    /// walk the remaining load; the system cannot survive past the point at
-    /// which the load has requested more charge units than all usable
-    /// batteries jointly hold.
-    fn upper_bound(&self, epoch_index: usize, offset: u64) -> u64 {
+    /// Charge upper bound on the additional lifetime obtainable from this
+    /// position: walk the remaining load; the system cannot survive past
+    /// the point at which the load has requested more charge units than all
+    /// usable batteries jointly hold.
+    fn charge_bound(&self, epoch_index: usize, offset: u64) -> u64 {
         #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
         let mut units_left =
             ((self.model.usable_charge() + 1e-9) / self.charge_unit).floor().max(0.0) as u64;
@@ -624,6 +765,107 @@ impl<M: BatteryModel> Search<'_, M> {
                 steps += (draws_served + 1).min(draws_possible) * interval;
                 return steps;
             }
+        }
+        steps
+    }
+
+    /// Availability upper bound on the additional lifetime obtainable from
+    /// this position. Every survived draw instant consumes its units from
+    /// *some* battery, so the cumulative demand up to any draw instant can
+    /// never exceed the fleet's joint service capability over that window
+    /// — the sum of the per-battery recovery-coupled service envelopes
+    /// ([`BatteryModel::service_envelope_into`]), each also paced by the
+    /// demand delivered so far (a battery's recovery state only climbs by
+    /// serving). The walk checks that necessary condition at the last draw
+    /// of every remaining job epoch and, once it fails, locates the last
+    /// coverable draw inside the failing epoch.
+    ///
+    /// Returns `u64::MAX` (no claim) when the backend cannot bound
+    /// service, and may return early with any value above `limit` once the
+    /// walk has survived past it (the caller only compares against
+    /// `limit`, so the exact value no longer matters).
+    fn availability_bound(&mut self, epoch_index: usize, offset: u64, limit: u64) -> u64 {
+        let battery_count = self.model.battery_count();
+        if battery_count > MAX_BOUND_BATTERIES {
+            return u64::MAX;
+        }
+        if self.envelopes.len() < battery_count {
+            self.envelopes.resize_with(battery_count, ServiceEnvelope::new);
+        }
+        let mut tables: [Option<&ServiceRateTable>; MAX_BOUND_BATTERIES] =
+            [None; MAX_BOUND_BATTERIES];
+        for (battery, slot) in tables.iter_mut().enumerate().take(battery_count) {
+            match self.model.service_envelope_into(
+                battery,
+                self.max_units_per_draw,
+                &mut self.envelopes[battery],
+            ) {
+                Some(table) => *slot = Some(table),
+                None => return u64::MAX,
+            }
+        }
+        self.cursors.clear();
+        self.cursors.resize(battery_count, EnvelopeCursor::default());
+        let envelopes = &self.envelopes;
+        let cursors = &mut self.cursors;
+        let marks = &mut self.cursors_mark;
+        let fleet_units = |cursors: &mut [EnvelopeCursor], window: u64, demand: u64| -> u64 {
+            let mut total: u64 = 0;
+            for battery in 0..battery_count {
+                let table = tables[battery].expect("all envelope tables were filled above");
+                total = total.saturating_add(table.units_within(
+                    &envelopes[battery],
+                    &mut cursors[battery],
+                    window,
+                    demand,
+                ));
+            }
+            total
+        };
+
+        let mut demand: u64 = 0;
+        let mut steps: u64 = 0;
+        let mut offset = offset;
+        for epoch in &self.epochs[epoch_index..] {
+            let duration = epoch.duration_steps() - offset;
+            offset = 0;
+            if epoch.is_idle() {
+                steps += duration;
+                continue;
+            }
+            if steps > limit {
+                // The walk has already survived past the pruning margin;
+                // the caller cannot use a larger bound, so stop walking.
+                return steps;
+            }
+            let interval = u64::from(epoch.draw_interval_steps());
+            let units = u64::from(epoch.units_per_draw());
+            let draws_possible = duration / interval;
+            let epoch_demand = demand + draws_possible * units;
+            // The binding check sits at the epoch's last draw instant:
+            // demand peaks there while the envelopes keep growing through
+            // the idle time that follows. The cursor snapshot lets the
+            // death scan below rewind to the epoch's start.
+            marks.clone_from(cursors);
+            if epoch_demand <= fleet_units(cursors, steps + draws_possible * interval, epoch_demand)
+            {
+                demand = epoch_demand;
+                steps += duration;
+                continue;
+            }
+            // The fleet cannot cover this epoch: the system dies at (or
+            // before) the first uncoverable draw. Envelopes regenerate
+            // stepwise, so scan for the last draw whose cumulative demand
+            // still fits.
+            cursors.clone_from(marks);
+            let mut draws_served = 0;
+            for draw in 1..=draws_possible {
+                let at_draw = demand + draw * units;
+                if at_draw <= fleet_units(cursors, steps + draw * interval, at_draw) {
+                    draws_served = draw;
+                }
+            }
+            return steps + (draws_served + 1).min(draws_possible) * interval;
         }
         steps
     }

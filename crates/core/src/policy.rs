@@ -137,6 +137,60 @@ impl SchedulingPolicy for BestAvailable {
     fn reset(&mut self) {}
 }
 
+/// The *capacity-weighted round robin* schedule: jobs are spread over the
+/// batteries in proportion to their capacities (stride scheduling), so a
+/// B2 with twice a B1's capacity serves twice as many jobs. On uniform
+/// fleets it degenerates to an even spread; on mixed fleets it is the
+/// cheapest fleet-aware heuristic — it drains every battery at the same
+/// *relative* rate without inspecting recovery state.
+///
+/// Capacities are captured from the total-charge snapshots of the first
+/// decision (batteries are fresh then, so total charge equals capacity),
+/// which keeps the policy backend-agnostic like the others.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacityWeightedRoundRobin {
+    capacities: Vec<f64>,
+    assigned: Vec<u64>,
+}
+
+impl CapacityWeightedRoundRobin {
+    /// Creates the capacity-weighted round-robin policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulingPolicy for CapacityWeightedRoundRobin {
+    fn name(&self) -> &str {
+        "capacity-weighted round robin"
+    }
+
+    fn choose(&mut self, ctx: &DecisionContext<'_>) -> Option<usize> {
+        if self.capacities.is_empty() {
+            self.capacities = ctx.charges.iter().map(|c| c.total.max(f64::MIN_POSITIVE)).collect();
+            self.assigned = vec![0; ctx.charges.len()];
+        }
+        // Stride scheduling: pick the available battery with the smallest
+        // (assignments + 1) / capacity ratio — compared cross-multiplied so
+        // ties resolve deterministically towards the lower index.
+        let chosen = ctx.available.iter().copied().min_by(|&a, &b| {
+            let lhs = (self.assigned[a] + 1) as f64 * self.capacities[b];
+            let rhs = (self.assigned[b] + 1) as f64 * self.capacities[a];
+            lhs.partial_cmp(&rhs).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        })?;
+        self.assigned[chosen] += 1;
+        Some(chosen)
+    }
+
+    fn reset(&mut self) {
+        // Capacities are re-captured on the next decision (models are reset
+        // to fresh batteries at the start of every simulation).
+        self.capacities.clear();
+        self.assigned.clear();
+    }
+}
+
 /// Replays an explicit list of decisions — one battery index per scheduling
 /// point — e.g. an optimal schedule produced by
 /// [`crate::optimal::OptimalScheduler`].
@@ -251,6 +305,50 @@ mod tests {
         let mut policy = BestAvailable::new();
         let ctx = context(0, &[0, 1], &charges);
         assert_eq!(policy.choose(&ctx), Some(0));
+    }
+
+    #[test]
+    fn capacity_weighted_rr_spreads_jobs_proportionally() {
+        // A 5.5 A·min B1 next to an 11 A·min B2: the B2 must take two of
+        // every three assignments (stride scheduling).
+        let charges = vec![
+            BatteryCharge { total: 5.5, available: 0.9 },
+            BatteryCharge { total: 11.0, available: 1.8 },
+        ];
+        let mut policy = CapacityWeightedRoundRobin::new();
+        let mut picks = Vec::new();
+        for job in 0..6 {
+            let ctx = context(job, &[0, 1], &charges);
+            picks.push(policy.choose(&ctx).unwrap());
+        }
+        let b2_share = picks.iter().filter(|&&p| p == 1).count();
+        assert_eq!(b2_share, 4, "the double-capacity battery serves 2/3 of jobs: {picks:?}");
+    }
+
+    #[test]
+    fn capacity_weighted_rr_is_even_on_uniform_fleets_and_resets() {
+        let charges = full_charges(2);
+        let mut policy = CapacityWeightedRoundRobin::new();
+        let mut counts = [0usize; 2];
+        for job in 0..8 {
+            let ctx = context(job, &[0, 1], &charges);
+            counts[policy.choose(&ctx).unwrap()] += 1;
+        }
+        assert_eq!(counts, [4, 4], "uniform fleets get an even spread");
+        // Reset clears the assignment counts and re-captures capacities.
+        policy.reset();
+        let ctx = context(0, &[0, 1], &charges);
+        assert_eq!(policy.choose(&ctx), Some(0), "ties resolve to the lower index after reset");
+    }
+
+    #[test]
+    fn capacity_weighted_rr_skips_unavailable_batteries() {
+        let charges = full_charges(3);
+        let mut policy = CapacityWeightedRoundRobin::new();
+        let ctx = context(0, &[2], &charges);
+        assert_eq!(policy.choose(&ctx), Some(2));
+        let ctx = context(1, &[], &charges);
+        assert_eq!(policy.choose(&ctx), None);
     }
 
     #[test]

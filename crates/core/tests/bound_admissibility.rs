@@ -1,0 +1,162 @@
+//! Admissibility of the availability-aware search bound.
+//!
+//! The availability bound (recovery-coupled service envelopes, demand
+//! pacing — see `core::optimal` and `dkibam::ServiceRateTable`) is only
+//! sound if it never underestimates the true remaining lifetime: an
+//! undercount would prune optimal schedules. This property-style suite
+//! samples deterministic random loads and fleets (uniform and mixed) and
+//! asserts, for every instance,
+//!
+//! * the availability-bounded search returns the exact lifetime of the
+//!   pruning-free reference search (`OptimalScheduler::reference()`),
+//! * it never explores more nodes than the same search *without* the
+//!   availability bound (the full pre-availability search), and
+//! * the bound evaluated at the root is at least the optimal lifetime.
+//!
+//! The newly contained alternating-load frontier instance (3×B1 on
+//! `ILs alt`) is pinned as a golden: lifetime and node counts are
+//! deterministic, so any regression of the bound shows up as an exact
+//! mismatch here before it shows up in CI's bench gate.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::FixedSchedule;
+use battery_sched::system::{simulate_policy, SystemConfig};
+use dkibam::Discretization;
+use kibam::{BatteryParams, FleetSpec};
+use workload::paper_loads::TestLoad;
+use workload::random::RandomLoadSpec;
+use workload::LoadProfile;
+
+fn coarse_uniform(count: usize) -> SystemConfig {
+    SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), count).unwrap()
+}
+
+fn coarse_mixed() -> SystemConfig {
+    SystemConfig::from_fleet(
+        FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap(),
+        Discretization::coarse(),
+    )
+}
+
+/// Deterministic random loads: fixed seeds, so every run samples the same
+/// profiles.
+fn random_profiles(seeds: &[u64]) -> Vec<LoadProfile> {
+    let spec = RandomLoadSpec::new(vec![0.25, 0.5], 1.0, 0.5, 40).unwrap();
+    seeds.iter().map(|&seed| spec.generate(seed).unwrap()).collect()
+}
+
+/// The admissibility triple: exact lifetime against the reference search,
+/// node count no worse than the availability-ablated search, and a root
+/// bound at or above the optimum.
+fn assert_admissible(config: &SystemConfig, profile: &LoadProfile, label: &str) {
+    let reference = OptimalScheduler::reference().find_optimal(config, profile).unwrap();
+    let with_bound = OptimalScheduler::new().find_optimal(config, profile).unwrap();
+    let without_bound =
+        OptimalScheduler::new().without_availability_bound().find_optimal(config, profile).unwrap();
+    assert_eq!(
+        with_bound.lifetime_steps, reference.lifetime_steps,
+        "{label}: the availability bound changed the optimum"
+    );
+    assert_eq!(
+        without_bound.lifetime_steps, reference.lifetime_steps,
+        "{label}: the charge-only search changed the optimum"
+    );
+    assert!(
+        with_bound.nodes_explored <= without_bound.nodes_explored,
+        "{label}: the availability bound grew the search ({} vs {})",
+        with_bound.nodes_explored,
+        without_bound.nodes_explored
+    );
+    // The decision sequence replays to the exact optimum.
+    let mut replay = FixedSchedule::new(with_bound.decisions.clone());
+    let replayed = simulate_policy(config, profile, &mut replay).unwrap();
+    let lifetime = replayed.lifetime_steps().unwrap_or(with_bound.lifetime_steps);
+    assert_eq!(lifetime, with_bound.lifetime_steps, "{label}: decisions do not replay");
+
+    // Root bounds must dominate the optimum (necessary admissibility
+    // condition, checked directly against the exact answer).
+    let load = config.discretize(profile).unwrap();
+    let mut model = config.discretized_model();
+    let (charge, availability, warm) =
+        OptimalScheduler::probe_root_bounds(config, &load, &mut model).unwrap();
+    assert!(
+        availability >= reference.lifetime_steps,
+        "{label}: availability root bound {availability} underestimates the optimum {}",
+        reference.lifetime_steps
+    );
+    assert!(charge >= reference.lifetime_steps, "{label}: charge root bound underestimates");
+    assert!(warm <= reference.lifetime_steps, "{label}: the warm start can never beat the optimum");
+}
+
+#[test]
+fn two_battery_bound_is_admissible_on_paper_loads() {
+    let config = coarse_uniform(2);
+    for load in [TestLoad::Cl500, TestLoad::Ils500, TestLoad::IlsAlt, TestLoad::Ils250] {
+        assert_admissible(&config, &load.profile(), load.name());
+    }
+}
+
+#[test]
+fn two_battery_bound_is_admissible_on_random_loads() {
+    let config = coarse_uniform(2);
+    for (index, profile) in random_profiles(&[3, 17, 29]).iter().enumerate() {
+        assert_admissible(&config, profile, &format!("2xB1 random[{index}]"));
+    }
+}
+
+#[test]
+fn mixed_fleet_bound_is_admissible() {
+    let config = coarse_mixed();
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt] {
+        assert_admissible(&config, &load.profile(), &format!("B1+B2 {load}"));
+    }
+    for (index, profile) in random_profiles(&[11]).iter().enumerate() {
+        assert_admissible(&config, profile, &format!("B1+B2 random[{index}]"));
+    }
+}
+
+#[test]
+fn three_battery_bound_is_admissible() {
+    let config = coarse_uniform(3);
+    // Higher currents keep the pruning-free reference search tractable.
+    let spec = RandomLoadSpec::new(vec![0.5, 1.0], 1.0, 0.5, 25).unwrap();
+    assert_admissible(&config, &spec.generate(7).unwrap(), "3xB1 random[7]");
+    assert_admissible(&config, &TestLoad::Cl500.profile(), "3xB1 CL 500");
+}
+
+/// The frontier golden: 3×B1 on the alternating load. The charge bound
+/// never fires here (the load strands ~70 % of the charge), so the whole
+/// reduction against the availability-ablated search is the new bound's
+/// doing. Values are pinned exactly — node counts are deterministic.
+#[test]
+fn three_b1_alternating_frontier_is_pinned() {
+    let config = coarse_uniform(3);
+    let profile = TestLoad::IlsAlt.profile();
+    let with_bound = OptimalScheduler::new().find_optimal(&config, &profile).unwrap();
+    let without_bound = OptimalScheduler::new()
+        .without_availability_bound()
+        .find_optimal(&config, &profile)
+        .unwrap();
+    assert_eq!(with_bound.lifetime_steps, 740, "3xB1 ILs alt optimum (coarse grid)");
+    assert_eq!(with_bound.lifetime_steps, without_bound.lifetime_steps);
+    assert_eq!(with_bound.nodes_explored, 53_595, "availability-bounded node count");
+    assert_eq!(without_bound.nodes_explored, 208_504, "charge-only node count");
+    assert_eq!(with_bound.charge_bound_prunes, 0, "the charge bound never fires on ILs alt");
+    assert!(with_bound.availability_bound_prunes > 20_000, "the new bound carries the search");
+    assert_eq!(with_bound.seeded_by, Some("round robin"));
+}
+
+/// The 2×B1 alternating-load root bound, pinned: the availability bound
+/// claims 650 steps where the charge bound claims 1140 (optimum: 330).
+/// Tightening is welcome (update the pin); loosening is a regression.
+#[test]
+fn alternating_root_bounds_are_pinned() {
+    let config = coarse_uniform(2);
+    let load = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
+    let mut model = config.discretized_model();
+    let (charge, availability, warm) =
+        OptimalScheduler::probe_root_bounds(&config, &load, &mut model).unwrap();
+    assert_eq!(charge, 1140);
+    assert_eq!(availability, 650);
+    assert_eq!(warm, 328);
+}

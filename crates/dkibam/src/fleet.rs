@@ -10,27 +10,33 @@
 //! [`DiscreteFleet`] bundles that static side; every state-advancing method
 //! of `MultiBatteryState` takes one.
 
-use crate::{Discretization, RecoveryTable};
+use crate::{Discretization, RecoveryTable, ServiceRateTable};
 use kibam::{BatteryParams, FleetSpec};
 
 /// The static side of a discretized multi-battery system: fleet parameters,
-/// discretization and per-type recovery tables.
+/// discretization and per-type recovery and service-rate tables.
 #[derive(Debug, Clone)]
 pub struct DiscreteFleet {
     spec: FleetSpec,
     disc: Discretization,
     tables: Vec<RecoveryTable>,
+    services: Vec<ServiceRateTable>,
 }
 
 impl DiscreteFleet {
-    /// Builds the static data for a fleet: one recovery table per distinct
-    /// battery type.
+    /// Builds the static data for a fleet: one recovery table and one
+    /// service-rate table per distinct battery type.
     #[must_use]
     pub fn new(spec: FleetSpec, disc: Discretization) -> Self {
-        let tables = (0..spec.type_count())
+        let tables: Vec<RecoveryTable> = (0..spec.type_count())
             .map(|t| RecoveryTable::for_battery(spec.type_params(t), &disc))
             .collect();
-        Self { spec, disc, tables }
+        let services = tables
+            .iter()
+            .enumerate()
+            .map(|(t, table)| ServiceRateTable::from_recovery(spec.type_params(t), &disc, table))
+            .collect();
+        Self { spec, disc, tables, services }
     }
 
     /// The static data for `count` identical batteries (the paper's
@@ -81,6 +87,13 @@ impl DiscreteFleet {
     #[must_use]
     pub fn table_of(&self, index: usize) -> &RecoveryTable {
         &self.tables[self.spec.type_of(index)]
+    }
+
+    /// The service-rate table of battery `index` (shared within its type
+    /// group), used by the availability-aware search bound.
+    #[must_use]
+    pub fn service_of(&self, index: usize) -> &ServiceRateTable {
+        &self.services[self.spec.type_of(index)]
     }
 
     /// The type-group id of battery `index`.

@@ -16,6 +16,10 @@
 //!
 //! * [`Discretization`] — the step sizes `T` and `Γ` plus derived quantities;
 //! * [`RecoveryTable`] — the `recov_times` array of Eq. 6;
+//! * [`ServiceRateTable`] — the recovery-coupled service envelope of a
+//!   battery type (the Eq. 8 frontier per charge level plus the fastest
+//!   recovery rate on the serviceable band), feeding the availability-aware
+//!   search bound of the `battery-sched` crate;
 //! * [`DiscreteBattery`] — the integer battery state (`n_gamma`, `m_delta`)
 //!   with discharge, recovery and the emptiness test of Eq. 8;
 //! * [`DiscretizedLoad`] — a [`workload::LoadProfile`] converted to the
@@ -59,6 +63,7 @@ mod fleet;
 mod load;
 pub mod multi;
 mod recovery;
+mod service;
 pub mod sim;
 
 pub use battery::DiscreteBattery;
@@ -67,3 +72,4 @@ pub use error::DkibamError;
 pub use fleet::DiscreteFleet;
 pub use load::{DiscreteEpoch, DiscretizedLoad};
 pub use recovery::RecoveryTable;
+pub use service::{EnvelopeCursor, ServiceEnvelope, ServiceRateTable};

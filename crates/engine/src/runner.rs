@@ -43,6 +43,10 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Nodes pruned by state dominance.
     pub dominance_prunes: u64,
+    /// Nodes cut by the usable-charge upper bound.
+    pub charge_bound_prunes: u64,
+    /// Nodes cut by the availability-aware (recovery-coupled) upper bound.
+    pub availability_bound_prunes: u64,
 }
 
 /// The measured outcome of one scenario.
@@ -65,6 +69,9 @@ pub struct ScenarioResult {
     pub wall_micros: u64,
     /// Branch-and-bound statistics, for [`PolicyKind::Optimal`] scenarios.
     pub search: Option<SearchStats>,
+    /// The deterministic policy that seeded the search's warm-start
+    /// incumbent, for [`PolicyKind::Optimal`] scenarios.
+    pub seeded_by: Option<String>,
 }
 
 impl ScenarioResult {
@@ -101,7 +108,15 @@ impl ScenarioResult {
                 ("nodes_explored", JsonValue::Number(stats.nodes_explored as f64)),
                 ("memo_hits", JsonValue::Number(stats.memo_hits as f64)),
                 ("dominance_prunes", JsonValue::Number(stats.dominance_prunes as f64)),
+                ("charge_bound_prunes", JsonValue::Number(stats.charge_bound_prunes as f64)),
+                (
+                    "availability_bound_prunes",
+                    JsonValue::Number(stats.availability_bound_prunes as f64),
+                ),
             ]);
+        }
+        if let Some(seeded_by) = &self.seeded_by {
+            fields.push(("seeded_by", JsonValue::String(seeded_by.clone())));
         }
         JsonValue::object(fields)
     }
@@ -237,7 +252,7 @@ pub fn run_scenario_with_cache(
     let load = system.config.discretize(&profile)?;
 
     let start = Instant::now();
-    let (outcome, lifetime_minutes, search) = match scenario.policy {
+    let (outcome, lifetime_minutes, search, seeded_by) = match scenario.policy {
         PolicyKind::Optimal { budget } => {
             let scheduler = OptimalScheduler::with_budget(budget);
             let optimal = match scenario.backend {
@@ -259,16 +274,19 @@ pub fn run_scenario_with_cache(
                 nodes_explored: optimal.nodes_explored as u64,
                 memo_hits: optimal.memo_hits as u64,
                 dominance_prunes: optimal.dominance_prunes as u64,
+                charge_bound_prunes: optimal.charge_bound_prunes as u64,
+                availability_bound_prunes: optimal.availability_bound_prunes as u64,
             };
             let minutes = optimal.lifetime_minutes(&system.config);
-            (outcome, Some(minutes), Some(stats))
+            let seeded_by = optimal.seeded_by.map(str::to_owned);
+            (outcome, Some(minutes), Some(stats), seeded_by)
         }
         _ => {
             let mut policy =
                 scenario.policy.build().expect("non-optimal policies always instantiate");
             let outcome = simulate_on_backend(system, scenario.backend, &load, policy.as_mut())?;
             let minutes = outcome.lifetime_minutes();
-            (outcome, minutes, None)
+            (outcome, minutes, None, None)
         }
     };
     let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -281,6 +299,7 @@ pub fn run_scenario_with_cache(
         decisions: outcome.schedule().assignments.len() as u64,
         wall_micros,
         search,
+        seeded_by,
     })
 }
 

@@ -11,7 +11,9 @@
 
 use crate::json::JsonValue;
 use crate::EngineError;
-use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
+use battery_sched::policy::{
+    BestAvailable, CapacityWeightedRoundRobin, RoundRobin, SchedulingPolicy, Sequential,
+};
 use kibam::{BatteryParams, FleetSpec};
 use workload::builder::LoadProfileBuilder;
 use workload::paper_loads::TestLoad;
@@ -225,6 +227,9 @@ pub enum PolicyKind {
     RoundRobin,
     /// Always pick the battery with the most available charge.
     BestOfTwo,
+    /// Spread jobs over the batteries in proportion to their capacities
+    /// (stride scheduling) — the cheap fleet-aware heuristic baseline.
+    CapacityRr,
     /// The exact optimal schedule, found by the memoized branch-and-bound
     /// search with the given node budget. The grid cell fails with a budget
     /// error instead of silently reporting a sub-optimal lifetime.
@@ -247,6 +252,18 @@ impl PolicyKind {
         [PolicyKind::Sequential, PolicyKind::RoundRobin, PolicyKind::BestOfTwo]
     }
 
+    /// Every deterministic policy: the paper's three plus the
+    /// capacity-weighted round robin.
+    #[must_use]
+    pub fn deterministic() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Sequential,
+            PolicyKind::RoundRobin,
+            PolicyKind::BestOfTwo,
+            PolicyKind::CapacityRr,
+        ]
+    }
+
     /// The stable name used in JSON and reports.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -254,6 +271,7 @@ impl PolicyKind {
             PolicyKind::Sequential => "sequential",
             PolicyKind::RoundRobin => "round-robin",
             PolicyKind::BestOfTwo => "best-of-two",
+            PolicyKind::CapacityRr => "capacity-rr",
             PolicyKind::Optimal { .. } => "optimal",
         }
     }
@@ -267,6 +285,7 @@ impl PolicyKind {
             PolicyKind::Sequential => Some(Box::new(Sequential::new())),
             PolicyKind::RoundRobin => Some(Box::new(RoundRobin::new())),
             PolicyKind::BestOfTwo => Some(Box::new(BestAvailable::new())),
+            PolicyKind::CapacityRr => Some(Box::new(CapacityWeightedRoundRobin::new())),
             PolicyKind::Optimal { .. } => None,
         }
     }
@@ -307,7 +326,7 @@ impl PolicyKind {
         if name == "optimal" {
             return Ok(PolicyKind::optimal());
         }
-        PolicyKind::all()
+        PolicyKind::deterministic()
             .into_iter()
             .find(|p| p.name() == name)
             .ok_or_else(|| EngineError::InvalidSpec(format!("unknown policy '{name}'")))
@@ -880,10 +899,27 @@ mod tests {
             cyclic: true,
         });
         spec.loads.push(LoadSpec::random_paper_levels(42, 50));
+        spec.policies.push(PolicyKind::CapacityRr);
         spec.policies.push(PolicyKind::Optimal { budget: 123_456 });
         let json = spec.to_json().unwrap();
         let back = ScenarioSpec::from_json(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn capacity_rr_parses_builds_and_is_deterministic() {
+        let json = ScenarioSpec::paper_table5().to_json().unwrap();
+        let with_capacity = json.replace("\"round-robin\"", "\"capacity-rr\"");
+        let spec = ScenarioSpec::from_json(&with_capacity).unwrap();
+        assert!(spec.policies.contains(&PolicyKind::CapacityRr));
+        assert_eq!(PolicyKind::CapacityRr.name(), "capacity-rr");
+        let policy = PolicyKind::CapacityRr.build().expect("capacity-rr is a real policy");
+        assert_eq!(policy.name(), "capacity-weighted round robin");
+        assert_eq!(PolicyKind::deterministic().len(), 4);
+        assert!(
+            !PolicyKind::all().contains(&PolicyKind::CapacityRr),
+            "Table 5 keeps the paper's three policies"
+        );
     }
 
     #[test]

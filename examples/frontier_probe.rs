@@ -1,0 +1,91 @@
+//! Probes the alternating-load search frontier: root upper bounds and
+//! branch-and-bound node counts, with and without the availability bound.
+//!
+//! The `ILs alt` load strands ~70 % of the fleet's charge, so the charge
+//! bound wildly overestimates the remaining lifetime and 3+-battery
+//! searches historically relied on state-space reduction alone. This probe
+//! prints, for each fleet,
+//!
+//! * the root values of both upper bounds next to the warm-start incumbent
+//!   (how tight is the bound before a single node is explored?), and
+//! * the full search with the availability bound against the
+//!   availability-ablated search (what does the bound buy in nodes?).
+//!
+//! ```text
+//! cargo run --release --example frontier_probe [NODE_BUDGET]
+//! ```
+//!
+//! The default budget keeps the probe fast; pass a larger budget (the
+//! 4×B1 and 2×B1+B2 fleets exceed 200M nodes even with the availability
+//! bound — the open frontier in ROADMAP.md) to measure how far a search
+//! gets before giving up.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::system::SystemConfig;
+use dkibam::Discretization;
+use kibam::{BatteryParams, FleetSpec};
+use std::time::Instant;
+use workload::paper_loads::TestLoad;
+
+fn main() {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse().expect("NODE_BUDGET must be an integer"))
+        .unwrap_or(2_000_000);
+
+    let disc = Discretization::coarse();
+    let cases: Vec<(&str, SystemConfig)> = vec![
+        ("2xB1", SystemConfig::new(BatteryParams::itsy_b1(), disc, 2).unwrap()),
+        ("3xB1", SystemConfig::new(BatteryParams::itsy_b1(), disc, 3).unwrap()),
+        (
+            "2xB1+B2",
+            SystemConfig::from_fleet(
+                FleetSpec::new(vec![
+                    BatteryParams::itsy_b1(),
+                    BatteryParams::itsy_b1(),
+                    BatteryParams::itsy_b2(),
+                ])
+                .unwrap(),
+                disc,
+            ),
+        ),
+        ("4xB1", SystemConfig::new(BatteryParams::itsy_b1(), disc, 4).unwrap()),
+    ];
+    let load = TestLoad::IlsAlt.profile();
+
+    println!("root bounds on ILs alt (coarse grid):");
+    for (name, config) in &cases {
+        let discretized = config.discretize(&load).unwrap();
+        let mut model = config.discretized_model();
+        let (charge, avail, warm) =
+            OptimalScheduler::probe_root_bounds(config, &discretized, &mut model).unwrap();
+        println!("  {name:>8}: charge {charge}, availability {avail}, warm start {warm}");
+    }
+
+    println!("\nsearches (budget {budget} nodes):");
+    for (name, config) in &cases {
+        for (which, scheduler) in [
+            ("avail", OptimalScheduler::with_budget(budget)),
+            ("charge", OptimalScheduler::with_budget(budget).without_availability_bound()),
+        ] {
+            let start = Instant::now();
+            match scheduler.find_optimal(config, &load) {
+                Ok(outcome) => println!(
+                    "  {name:>8} {which:>6}: {} steps, {} nodes, memo {}, dom {}, charge {}, \
+                     avail {}, seeded {:?}, {:.2?}",
+                    outcome.lifetime_steps,
+                    outcome.nodes_explored,
+                    outcome.memo_hits,
+                    outcome.dominance_prunes,
+                    outcome.charge_bound_prunes,
+                    outcome.availability_bound_prunes,
+                    outcome.seeded_by,
+                    start.elapsed()
+                ),
+                Err(error) => {
+                    println!("  {name:>8} {which:>6}: {error} ({:.2?})", start.elapsed());
+                }
+            }
+        }
+    }
+}
