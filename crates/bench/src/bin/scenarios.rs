@@ -22,11 +22,27 @@
 //!   best-of-two-vs-round-robin gap counts) and re-runs a coarse sub-grid
 //!   of the seeds with the optimal search to count optimal-vs-best-of-two
 //!   gaps — the seed of the Section 7 random-workload study.
+//! * **Cross-model grid** (`--crossmodel`): every paper load × all four
+//!   deterministic policies × all four backends (ideal / discretized KiBaM /
+//!   continuous KiBaM / RV diffusion) at the paper discretization, plus
+//!   optimal cross-model cells on the coarse grid, written to
+//!   `BENCH_crossmodel.json` together with per-load policy **rankings** and
+//!   an RV-vs-KiBaM ranking-agreement verdict (a strict reversal among the
+//!   paper's three policies counts as divergence). The optimal cells run
+//!   under the `--max-nodes` ceiling and the baseline gate.
+//!
+//! With `--baseline PATH`, the optimal grid gates its node counts against
+//! the committed document at PATH, and the fleet and cross-model grids gate
+//! against the committed copies of their own output files (loaded before
+//! they are overwritten). A gated cell that disappears from a run fails the
+//! gate — a dropped scenario must not pass as "nothing regressed".
 //!
 //! ```text
 //! scenarios [OUT] [--threads N]
 //!           [--optimal] [--optimal-out PATH] [--max-nodes N]
+//!           [--baseline PATH]
 //!           [--fleet SPEC] [--fleet-out PATH]
+//!           [--crossmodel] [--crossmodel-out PATH]
 //!           [--random-cells N] [--random-jobs N] [--random-out PATH]
 //!           [--analyze] [--analyze-seeds N]
 //!           [--chunk N]   # work-chunk size of the streamed random grid
@@ -54,6 +70,8 @@ struct Options {
     baseline: Option<String>,
     fleet: Option<FleetDef>,
     fleet_out: String,
+    crossmodel: bool,
+    crossmodel_out: String,
     random_cells: Option<usize>,
     random_jobs: usize,
     random_out: String,
@@ -73,6 +91,8 @@ fn parse_options() -> Options {
         baseline: None,
         fleet: None,
         fleet_out: "BENCH_fleet.json".to_owned(),
+        crossmodel: false,
+        crossmodel_out: "BENCH_crossmodel.json".to_owned(),
         random_cells: None,
         random_jobs: 50,
         random_out: "BENCH_random_grid.json".to_owned(),
@@ -97,6 +117,8 @@ fn parse_options() -> Options {
             "--baseline" => options.baseline = Some(value("--baseline")),
             "--fleet" => options.fleet = Some(parse_fleet(&value("--fleet"))),
             "--fleet-out" => options.fleet_out = value("--fleet-out"),
+            "--crossmodel" => options.crossmodel = true,
+            "--crossmodel-out" => options.crossmodel_out = value("--crossmodel-out"),
             "--random-cells" => options.random_cells = Some(parse(&value("--random-cells"))),
             "--random-jobs" => options.random_jobs = parse(&value("--random-jobs")),
             "--random-out" => options.random_out = value("--random-out"),
@@ -161,6 +183,9 @@ fn main() {
     if let Some(fleet) = &options.fleet {
         run_fleet_grid(&options, fleet.clone());
     }
+    if options.crossmodel {
+        run_crossmodel_grid(&options);
+    }
     if let Some(cells) = options.random_cells {
         run_random_grid(&options, cells);
     }
@@ -213,9 +238,51 @@ fn run_paper_grid(options: &Options) {
     println!("wrote {} bytes to {}\n", json.len(), options.out);
 }
 
+/// Writes a grid document and runs its gates, in the one order that keeps
+/// both the baseline and the artifact honest: the *committed* copy of
+/// `out_path` is read first (it is the baseline), the fresh document is
+/// written next (so a failing gate still leaves the artifact behind for
+/// baseline regeneration), and the node-ceiling gate over `gated` plus the
+/// committed-baseline gate over `all` run last. A missing committed
+/// document skips the baseline gate with a note instead of aborting — the
+/// bootstrap path for a newly gated grid, whose first run must be able to
+/// produce the document it will be gated against.
+fn write_and_gate(
+    options: &Options,
+    out_path: &str,
+    json: &str,
+    gated: &[engine::ScenarioResult],
+    all: &[engine::ScenarioResult],
+) {
+    let baseline = match &options.baseline {
+        Some(_) if std::path::Path::new(out_path).exists() => Some(load_baseline(out_path)),
+        Some(_) => {
+            println!(
+                "baseline note: no committed {out_path} yet — baseline gate skipped \
+                 (commit this run's document to arm it)"
+            );
+            None
+        }
+        None => None,
+    };
+    if let Err(error) = std::fs::write(out_path, json) {
+        eprintln!("cannot write {out_path}: {error}");
+        std::process::exit(1);
+    }
+    println!("wrote {} bytes to {out_path}\n", json.len());
+
+    print_and_gate(gated, options.max_nodes, gated.len());
+    if let Some(baseline) = baseline {
+        check_baseline(&baseline, all);
+    }
+}
+
 /// Runs a coarse-grid spec with optimal cells, prints the node counts and
 /// enforces the `--max-nodes` ceiling. Shared by the optimal and the fleet
-/// grids.
+/// grids. When `--baseline` is active, the grid's optimal cells are also
+/// gated against the *committed* copy of `out_path` (loaded before the new
+/// results overwrite it), with the same no-disappearing-cells semantics as
+/// the `BENCH_optimal.json` gate.
 fn run_gated_grid(options: &Options, spec: &ScenarioSpec, what: &str, out_path: &str) {
     let start = Instant::now();
     let results = match run_grid_with_threads(spec, options.threads) {
@@ -226,14 +293,8 @@ fn run_gated_grid(options: &Options, spec: &ScenarioSpec, what: &str, out_path: 
         }
     };
     println!("ran in {:.2?}", start.elapsed());
-    print_and_gate(&results, options.max_nodes, results.len());
-
     let json = results_to_json(spec, &results).expect("results serialize");
-    if let Err(error) = std::fs::write(out_path, &json) {
-        eprintln!("cannot write {out_path}: {error}");
-        std::process::exit(1);
-    }
-    println!("wrote {} bytes to {out_path}\n", json.len());
+    write_and_gate(options, out_path, &json, &results, &results);
 }
 
 /// Optimal-vs-policy on the coarse grid, with node counts; the node ceiling
@@ -468,6 +529,201 @@ fn run_fleet_grid(options: &Options, fleet: FleetDef) {
     };
     println!("fleet grid (coarse, {}): {} scenarios", fleet.name, spec.scenario_count());
     run_gated_grid(options, &spec, "fleet grid", &options.fleet_out);
+}
+
+/// The policies whose relative order defines "the paper's ranking"
+/// (Table 5); `capacity-rr` is reported in the table but kept out of the
+/// agreement verdict.
+const RANKING_POLICIES: [&str; 3] = ["sequential", "round-robin", "best-of-two"];
+
+/// `-1`, `0`, `+1` for worse / tied / better, with lifetimes on the same
+/// discrete grid compared exactly.
+fn relation(a: f64, b: f64) -> i8 {
+    if (a - b).abs() <= 1e-9 {
+        0
+    } else if a > b {
+        1
+    } else {
+        -1
+    }
+}
+
+/// The lifetime of one (load, policy, backend) cell of a result set.
+fn lifetime_of(
+    results: &[engine::ScenarioResult],
+    load: &str,
+    policy: &str,
+    backend: &str,
+) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| {
+            r.scenario.load.name() == load
+                && r.scenario.policy.name() == policy
+                && r.scenario.backend.name() == backend
+        })
+        .and_then(|r| r.lifetime_minutes)
+}
+
+/// Whether two backends rank the paper's three policies compatibly on one
+/// load: a **strict reversal** of any pair (one backend says A outlives B,
+/// the other says B outlives A) counts as divergence; a tie against a
+/// strict order does not.
+fn rankings_agree(results: &[engine::ScenarioResult], load: &str, a: &str, b: &str) -> bool {
+    for (i, first) in RANKING_POLICIES.iter().enumerate() {
+        for second in &RANKING_POLICIES[i + 1..] {
+            let (Some(a_first), Some(a_second), Some(b_first), Some(b_second)) = (
+                lifetime_of(results, load, first, a),
+                lifetime_of(results, load, second, a),
+                lifetime_of(results, load, first, b),
+                lifetime_of(results, load, second, b),
+            ) else {
+                return false;
+            };
+            if i32::from(relation(a_first, a_second)) * i32::from(relation(b_first, b_second)) < 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The cross-model policy table: every paper load × all four deterministic
+/// policies × all four backends (ideal / discretized KiBaM / continuous
+/// KiBaM / RV diffusion) at the paper discretization — the three-model
+/// agreement story — plus optimal cross-model cells on the coarse grid.
+/// The optimal cells run under the `--max-nodes` ceiling and (with
+/// `--baseline`) against the committed copy of the output document, and
+/// the whole table is archived as `BENCH_crossmodel.json` together with
+/// per-load policy rankings and the RV-vs-KiBaM agreement verdict.
+fn run_crossmodel_grid(options: &Options) {
+    let backends = vec![
+        BackendKind::Ideal,
+        BackendKind::Discretized,
+        BackendKind::Continuous,
+        BackendKind::Rv,
+    ];
+    let ranking_spec = ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        fleets: vec![],
+        discretizations: vec![DiscSpec::paper()],
+        loads: TestLoad::all().into_iter().map(LoadSpec::Paper).collect(),
+        policies: PolicyKind::deterministic().to_vec(),
+        backends: backends.clone(),
+    };
+    // ILs 250 is deliberately absent: the continuous and RV backends carry
+    // no (or rarely-colliding) memo keys, so their deep slow-drain searches
+    // run 70k-135k nodes — fine for a study, not for the CI node ceiling.
+    let optimal_spec = ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        fleets: vec![],
+        discretizations: vec![DiscSpec::coarse()],
+        loads: vec![LoadSpec::Paper(TestLoad::Cl500), LoadSpec::Paper(TestLoad::IlsAlt)],
+        policies: vec![PolicyKind::optimal()],
+        backends: backends.clone(),
+    };
+    println!(
+        "cross-model grid: {} ranking cells (paper grid) + {} optimal cells (coarse)",
+        ranking_spec.scenario_count(),
+        optimal_spec.scenario_count()
+    );
+
+    let start = Instant::now();
+    let ranking_results = match run_grid_with_threads(&ranking_spec, options.threads) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("cross-model ranking grid failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    let optimal_results = match run_grid_with_threads(&optimal_spec, options.threads) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("cross-model optimal grid failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("ran in {:.2?}", start.elapsed());
+
+    // Per-load, per-backend policy orderings plus the RV-vs-KiBaM verdict.
+    let mut ranking_rows = Vec::new();
+    let mut divergent: Vec<String> = Vec::new();
+    for load in &ranking_spec.loads {
+        let load_name = load.name();
+        let mut backend_rows = Vec::new();
+        for backend in &backends {
+            let mut cells: Vec<(&'static str, f64)> = PolicyKind::deterministic()
+                .iter()
+                .filter_map(|p| {
+                    lifetime_of(&ranking_results, &load_name, p.name(), backend.name())
+                        .map(|lifetime| (p.name(), lifetime))
+                })
+                .collect();
+            cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let order = cells
+                .iter()
+                .map(|(policy, lifetime)| format!("{policy} ({lifetime:.2})"))
+                .collect::<Vec<_>>();
+            println!("  {load_name:<8} {:<12} {}", backend.name(), order.join(" >= "));
+            backend_rows.push(JsonValue::object(vec![
+                ("backend", JsonValue::String(backend.name().to_owned())),
+                (
+                    "order",
+                    JsonValue::Array(
+                        cells
+                            .iter()
+                            .map(|(policy, _)| JsonValue::String((*policy).to_owned()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "lifetimes",
+                    JsonValue::object(
+                        cells
+                            .iter()
+                            .map(|&(policy, lifetime)| (policy, JsonValue::Number(lifetime)))
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+            ]));
+        }
+        let agrees = rankings_agree(&ranking_results, &load_name, "discretized", "rv");
+        if !agrees {
+            divergent.push(load_name.clone());
+        }
+        ranking_rows.push(JsonValue::object(vec![
+            ("load", JsonValue::String(load_name.clone())),
+            ("backends", JsonValue::Array(backend_rows)),
+            ("rv_matches_discretized", JsonValue::Bool(agrees)),
+        ]));
+    }
+    match divergent.len() {
+        0 => println!("ranking agreement: RV matches the discretized KiBaM on all paper loads\n"),
+        _ => println!(
+            "ranking agreement: RV diverges from the discretized KiBaM on {} (see README)\n",
+            divergent.join(", ")
+        ),
+    }
+
+    let mut results = ranking_results;
+    results.extend(optimal_results.iter().cloned());
+    let document = JsonValue::object(vec![
+        ("spec", ranking_spec.to_json_value()),
+        ("optimal_spec", optimal_spec.to_json_value()),
+        (
+            "results",
+            JsonValue::Array(results.iter().map(engine::ScenarioResult::to_json_value).collect()),
+        ),
+        ("rankings", JsonValue::Array(ranking_rows)),
+        (
+            "rv_divergent_loads",
+            JsonValue::Array(divergent.into_iter().map(JsonValue::String).collect()),
+        ),
+    ]);
+    let json = document.render().expect("results serialize");
+    write_and_gate(options, &options.crossmodel_out, &json, &optimal_results, &results);
 }
 
 /// Prints the seed search (pruning disabled — PR 1 behaviour) next to the

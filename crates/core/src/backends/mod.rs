@@ -1,6 +1,6 @@
 //! Battery-model backends implementing [`crate::model::BatteryModel`].
 //!
-//! Three backends ship with the crate, all constructible from a
+//! Four backends ship with the crate, all constructible from a
 //! heterogeneous [`kibam::FleetSpec`] (with a uniform `params × count`
 //! convenience constructor):
 //!
@@ -13,14 +13,21 @@
 //!   stepping cost independent of the discretization and provides an
 //!   independent cross-check of the discretized results (the ~1–2 %
 //!   agreement of Tables 3 and 4).
+//! * [`RvDiffusion`] — the Rakhmatov–Vrudhula diffusion model (the `rv`
+//!   crate), parameter-fitted per battery type from the fleet's KiBaM
+//!   parameters: the structurally different chemistry that cross-validates
+//!   the scheduling conclusions (same recovery and rate-capacity effects,
+//!   different spectrum — the KiBaM is its one-term truncation).
 //! * [`IdealBattery`] — a linear battery with no rate-capacity or recovery
-//!   effect: the cross-model baseline that isolates how much the KiBaM
+//!   effect: the cross-model baseline that isolates how much the battery
 //!   nonlinearities cost on a given load.
 
 mod continuous;
 mod discrete;
 mod ideal;
+mod rv;
 
 pub use continuous::{ContinuousCell, ContinuousKibam};
 pub use discrete::DiscretizedKibam;
 pub use ideal::{IdealBattery, IdealCell};
+pub use rv::RvDiffusion;

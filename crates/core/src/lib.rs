@@ -16,9 +16,11 @@
 //! The crate provides:
 //!
 //! * the [`model::BatteryModel`] trait — the backend-agnostic
-//!   battery-stepping contract — with three backends:
+//!   battery-stepping contract — with four backends:
 //!   [`backends::DiscretizedKibam`] (the paper's discretized model),
-//!   [`backends::ContinuousKibam`] (closed-form analytic stepping) and
+//!   [`backends::ContinuousKibam`] (closed-form analytic stepping),
+//!   [`backends::RvDiffusion`] (the Rakhmatov–Vrudhula diffusion model,
+//!   fitted from the fleet's KiBaM parameters — the cross-model check) and
 //!   [`backends::IdealBattery`] (the linear cross-model baseline);
 //! * the three deterministic scheduling policies compared in the paper —
 //!   [`policy::Sequential`], [`policy::RoundRobin`] and

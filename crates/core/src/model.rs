@@ -12,6 +12,9 @@
 //! * [`crate::backends::ContinuousKibam`] — the closed-form continuous KiBaM,
 //!   which cross-validates the discretization and is much cheaper to step
 //!   over long horizons;
+//! * [`crate::backends::RvDiffusion`] — the Rakhmatov–Vrudhula diffusion
+//!   model, parameter-fitted from the fleet's KiBaM parameters: the
+//!   structurally different chemistry of the cross-model comparison;
 //! * [`crate::backends::IdealBattery`] — the linear battery baseline with no
 //!   rate-capacity or recovery effect.
 //!
@@ -365,14 +368,18 @@ pub trait BatteryModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backends::{ContinuousKibam, DiscretizedKibam};
+    use crate::backends::{ContinuousKibam, DiscretizedKibam, RvDiffusion};
     use dkibam::Discretization;
     use kibam::BatteryParams;
 
-    fn backends() -> (DiscretizedKibam, ContinuousKibam) {
+    fn backends() -> (DiscretizedKibam, ContinuousKibam, RvDiffusion) {
         let params = BatteryParams::itsy_b1();
         let disc = Discretization::paper_default();
-        (DiscretizedKibam::new(&params, &disc, 2), ContinuousKibam::new(&params, &disc, 2))
+        (
+            DiscretizedKibam::new(&params, &disc, 2),
+            ContinuousKibam::new(&params, &disc, 2),
+            RvDiffusion::new(&params, &disc, 2),
+        )
     }
 
     fn exercise<M: BatteryModel>(model: &mut M) {
@@ -425,21 +432,28 @@ mod tests {
 
     #[test]
     fn discretized_backend_honours_the_contract() {
-        let (mut discrete, _) = backends();
+        let (mut discrete, _, _) = backends();
         exercise(&mut discrete);
     }
 
     #[test]
     fn continuous_backend_honours_the_contract() {
-        let (_, mut continuous) = backends();
+        let (_, mut continuous, _) = backends();
         exercise(&mut continuous);
     }
 
     #[test]
-    fn out_of_range_battery_is_rejected_by_both_backends() {
-        let (mut discrete, mut continuous) = backends();
+    fn rv_backend_honours_the_contract() {
+        let (_, _, mut rv) = backends();
+        exercise(&mut rv);
+    }
+
+    #[test]
+    fn out_of_range_battery_is_rejected_by_every_backend() {
+        let (mut discrete, mut continuous, mut rv) = backends();
         assert!(discrete.advance_job(7, 10, 2, 1).is_err());
         assert!(continuous.advance_job(7, 10, 2, 1).is_err());
+        assert!(rv.advance_job(7, 10, 2, 1).is_err());
     }
 
     #[test]
@@ -489,9 +503,12 @@ mod tests {
     }
 
     #[test]
-    fn memo_keys_exist_only_for_the_discrete_backend() {
-        let (mut discrete, continuous) = backends();
+    fn memo_keys_exist_for_exactly_keyable_backends() {
+        let (mut discrete, continuous, rv) = backends();
+        // Float-state continuous cells cannot be keyed exactly; the
+        // grid-aligned RV cells can.
         assert!(continuous.memo_key().is_none());
+        assert!(rv.memo_key().is_some());
         let fresh = discrete.memo_key().unwrap();
         // Draining battery 0 vs battery 1 yields the same canonical key.
         let saved = discrete.save_state();

@@ -12,7 +12,7 @@
 //! entry points run it against the paper's discretized KiBaM, which keeps
 //! the original call sites unchanged.
 
-use crate::backends::{ContinuousKibam, DiscretizedKibam, IdealBattery};
+use crate::backends::{ContinuousKibam, DiscretizedKibam, IdealBattery, RvDiffusion};
 use crate::model::BatteryModel;
 use crate::policy::{DecisionContext, SchedulingPolicy};
 use crate::schedule::{Assignment, BatteryCharge, Schedule, SystemTrace, SystemTracePoint};
@@ -110,6 +110,14 @@ impl SystemConfig {
     #[must_use]
     pub fn ideal_model(&self) -> IdealBattery {
         IdealBattery::from_fleet(&self.fleet, &self.disc)
+    }
+
+    /// A freshly charged Rakhmatov–Vrudhula diffusion backend for this
+    /// configuration (RV parameters fitted per battery type from the
+    /// fleet's KiBaM parameters — the cross-model validation chemistry).
+    #[must_use]
+    pub fn rv_model(&self) -> RvDiffusion {
+        RvDiffusion::from_fleet(&self.fleet, &self.disc)
     }
 
     /// The charge horizon used to truncate cyclic loads: a bit more than the

@@ -138,6 +138,64 @@ fn two_b1_plus_b2_search_prunes_the_b1_pair() {
 }
 
 #[test]
+fn rv_backend_search_is_equivalent_on_paper_loads() {
+    // The RV diffusion backend carries exact (grid-aligned fixed-point)
+    // memo keys and a component-wise dominance rule; both must preserve
+    // the optimum on a 2-battery RV instance, and the pruned search's
+    // decisions must replay to the same lifetime on the same backend.
+    let config = coarse_system(2);
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt, TestLoad::Ils500] {
+        let discretized = config.discretize(&load.profile()).unwrap();
+        let mut model = config.rv_model();
+        let reference = OptimalScheduler::reference()
+            .find_optimal_with(&config, &discretized, &mut model)
+            .unwrap();
+        let pruned =
+            OptimalScheduler::new().find_optimal_with(&config, &discretized, &mut model).unwrap();
+        assert_eq!(
+            pruned.lifetime_steps, reference.lifetime_steps,
+            "{load}: pruning changed the RV optimum"
+        );
+        assert!(
+            pruned.nodes_explored <= reference.nodes_explored,
+            "{load}: pruning grew the RV search ({} vs {})",
+            pruned.nodes_explored,
+            reference.nodes_explored
+        );
+        let mut replay = FixedSchedule::new(pruned.decisions.clone());
+        let replayed = battery_sched::system::simulate_policy_with(
+            &config,
+            &discretized,
+            &mut replay,
+            &mut model,
+        )
+        .unwrap();
+        let lifetime = replayed.lifetime_steps().unwrap_or(pruned.lifetime_steps);
+        assert_eq!(lifetime, pruned.lifetime_steps, "{load}: RV decisions do not replay");
+    }
+}
+
+#[test]
+fn rv_mixed_fleet_search_is_equivalent() {
+    // Type-grouped keys on the RV backend: a B1+B2 diffusion fleet must
+    // stay exact under pruning too.
+    let config = coarse_mixed_system(1);
+    for load in [TestLoad::Cl500, TestLoad::IlsAlt] {
+        let discretized = config.discretize(&load.profile()).unwrap();
+        let mut model = config.rv_model();
+        let reference = OptimalScheduler::reference()
+            .find_optimal_with(&config, &discretized, &mut model)
+            .unwrap();
+        let pruned =
+            OptimalScheduler::new().find_optimal_with(&config, &discretized, &mut model).unwrap();
+        assert_eq!(
+            pruned.lifetime_steps, reference.lifetime_steps,
+            "B1+B2 {load}: pruning changed the RV optimum"
+        );
+    }
+}
+
+#[test]
 fn ablations_are_individually_equivalent() {
     // Memoization and dominance pruning must each preserve the optimum on
     // their own, not just in combination.

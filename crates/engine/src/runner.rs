@@ -179,6 +179,7 @@ struct CachedSystem {
     config: SystemConfig,
     discretized: battery_sched::backends::DiscretizedKibam,
     continuous: battery_sched::backends::ContinuousKibam,
+    rv: battery_sched::backends::RvDiffusion,
     ideal: battery_sched::backends::IdealBattery,
 }
 
@@ -219,8 +220,9 @@ impl WorkerCache {
                 let config = SystemConfig::from_fleet(fleet, disc);
                 let discretized = config.discretized_model();
                 let continuous = config.continuous_model();
+                let rv = config.rv_model();
                 let ideal = config.ideal_model();
-                Ok(entry.insert(CachedSystem { config, discretized, continuous, ideal }))
+                Ok(entry.insert(CachedSystem { config, discretized, continuous, rv, ideal }))
             }
         }
     }
@@ -261,6 +263,9 @@ pub fn run_scenario_with_cache(
                 }
                 BackendKind::Continuous => {
                     scheduler.find_optimal_with(&system.config, &load, &mut system.continuous)?
+                }
+                BackendKind::Rv => {
+                    scheduler.find_optimal_with(&system.config, &load, &mut system.rv)?
                 }
                 BackendKind::Ideal => {
                     scheduler.find_optimal_with(&system.config, &load, &mut system.ideal)?
@@ -319,6 +324,7 @@ fn simulate_on_backend(
         BackendKind::Continuous => {
             simulate_policy_with(&system.config, load, policy, &mut system.continuous)?
         }
+        BackendKind::Rv => simulate_policy_with(&system.config, load, policy, &mut system.rv)?,
         BackendKind::Ideal => {
             simulate_policy_with(&system.config, load, policy, &mut system.ideal)?
         }
@@ -734,6 +740,46 @@ mod tests {
         assert!(ideal > 4.0 * kibam, "the ideal baseline dwarfs the KiBaM lifetime");
         let json = results[1].to_json_value().render().unwrap();
         assert!(json.contains("\"ideal\""));
+    }
+
+    #[test]
+    fn rv_backend_runs_through_the_engine() {
+        let mut spec = small_grid();
+        spec.loads = vec![LoadSpec::Paper(TestLoad::Cl500), LoadSpec::Paper(TestLoad::IlsAlt)];
+        spec.policies = vec![PolicyKind::RoundRobin, PolicyKind::BestOfTwo];
+        spec.backends = vec![BackendKind::Discretized, BackendKind::Rv];
+        let results = run_grid(&spec).unwrap();
+        assert_eq!(results.len(), 8);
+        for pair in results.chunks(2) {
+            let (kibam, rv) = (&pair[0], &pair[1]);
+            assert_eq!(rv.scenario.backend, BackendKind::Rv);
+            let kibam_life = kibam.lifetime_minutes.unwrap();
+            let rv_life = rv.lifetime_minutes.unwrap();
+            // Both models share capacity and steady-state recovery gain, so
+            // lifetimes land in the same range without being equal.
+            assert!(
+                rv_life > 0.5 * kibam_life && rv_life < 1.5 * kibam_life,
+                "{}: kibam {kibam_life} vs rv {rv_life}",
+                rv.scenario.label()
+            );
+        }
+        let json = results.last().unwrap().to_json_value().render().unwrap();
+        assert!(json.contains("\"rv\""));
+    }
+
+    #[test]
+    fn rv_optimal_search_runs_through_the_engine() {
+        let mut spec = small_grid();
+        spec.discretizations = vec![DiscSpec::coarse()];
+        spec.loads = vec![LoadSpec::Paper(TestLoad::IlsAlt)];
+        spec.policies = vec![PolicyKind::BestOfTwo, PolicyKind::optimal()];
+        spec.backends = vec![BackendKind::Rv];
+        let results = run_grid(&spec).unwrap();
+        let best = &results[0];
+        let optimal = &results[1];
+        let stats = optimal.search.expect("optimal cells report search stats");
+        assert!(stats.nodes_explored > 0);
+        assert!(optimal.lifetime_minutes.unwrap() >= best.lifetime_minutes.unwrap());
     }
 
     #[test]

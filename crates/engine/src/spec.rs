@@ -340,6 +340,10 @@ pub enum BackendKind {
     Discretized,
     /// The closed-form continuous KiBaM.
     Continuous,
+    /// The Rakhmatov–Vrudhula diffusion model, parameter-fitted per battery
+    /// type from the fleet's KiBaM parameters: the cross-model validation
+    /// chemistry.
+    Rv,
     /// The ideal (linear) battery: no rate-capacity or recovery effect, the
     /// cross-model baseline.
     Ideal,
@@ -348,12 +352,12 @@ pub enum BackendKind {
 impl BackendKind {
     /// All built-in backends.
     #[must_use]
-    pub fn all() -> [BackendKind; 3] {
-        [BackendKind::Discretized, BackendKind::Continuous, BackendKind::Ideal]
+    pub fn all() -> [BackendKind; 4] {
+        [BackendKind::Discretized, BackendKind::Continuous, BackendKind::Rv, BackendKind::Ideal]
     }
 
     /// The two KiBaM backends the paper's tables compare (without the ideal
-    /// baseline).
+    /// baseline or the RV diffusion model).
     #[must_use]
     pub fn kibam() -> [BackendKind; 2] {
         [BackendKind::Discretized, BackendKind::Continuous]
@@ -365,6 +369,7 @@ impl BackendKind {
         match self {
             BackendKind::Discretized => "discretized",
             BackendKind::Continuous => "continuous",
+            BackendKind::Rv => "rv",
             BackendKind::Ideal => "ideal",
         }
     }
@@ -891,6 +896,7 @@ mod tests {
         spec.batteries.push(BatterySpec::b2());
         spec.battery_counts.push(3);
         spec.fleets.push(FleetDef::mixed(vec![BatterySpec::b1(), BatterySpec::b2()]));
+        spec.backends.push(BackendKind::Rv);
         spec.backends.push(BackendKind::Ideal);
         spec.discretizations.push(DiscSpec::coarse());
         spec.loads.push(LoadSpec::Custom {
@@ -941,6 +947,20 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.jobs_per_pattern(), 30);
         assert!(!a.is_cyclic(), "random sweep loads are finite");
+    }
+
+    #[test]
+    fn rv_backend_parses_by_name_and_is_not_a_kibam_backend() {
+        let json = ScenarioSpec::paper_table5().to_json().unwrap();
+        let with_rv = json.replace("\"discretized\"", "\"rv\"");
+        let spec = ScenarioSpec::from_json(&with_rv).unwrap();
+        assert!(spec.backends.contains(&BackendKind::Rv));
+        assert_eq!(BackendKind::Rv.name(), "rv");
+        assert!(BackendKind::all().contains(&BackendKind::Rv));
+        assert!(
+            !BackendKind::kibam().contains(&BackendKind::Rv),
+            "the paper's Table 5 grid keeps the two KiBaM backends"
+        );
     }
 
     #[test]

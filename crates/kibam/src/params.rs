@@ -105,6 +105,20 @@ impl BatteryParams {
         self.k_prime * self.c * (1.0 - self.c)
     }
 
+    /// The steady-state *recovery gain* `(1 - c) / (c · k')` in minutes: the
+    /// bound-charge deficit (unavailable charge) per ampere of sustained
+    /// load once the height difference has settled, `lim_{t→∞} (1-c)·δ(t)/I`.
+    ///
+    /// This is the KiBaM side of cross-model parameter fits: a battery model
+    /// with a different unavailable-charge law (e.g. the Rakhmatov–Vrudhula
+    /// diffusion model of the `rv` crate) reproduces the same low-rate
+    /// rate-capacity loss exactly when its own steady-state gain matches
+    /// this value.
+    #[must_use]
+    pub fn recovery_gain(&self) -> f64 {
+        (1.0 - self.c) / (self.c * self.k_prime)
+    }
+
     /// Returns a copy of these parameters with a different capacity.
     ///
     /// This is convenient for capacity-scaling studies (Section 6 of the
@@ -186,6 +200,18 @@ mod tests {
     fn k_is_consistent_with_k_prime() {
         let p = BatteryParams::new(2.0, 0.25, 0.4).unwrap();
         assert!((p.k() - 0.4 * 0.25 * 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recovery_gain_matches_the_steady_state_height_difference() {
+        // Under a sustained current I the height difference settles at
+        // δ = I / (c·k'), so the unavailable charge settles at
+        // (1-c)·δ = I·(1-c)/(c·k') — the gain times the current.
+        let b1 = BatteryParams::itsy_b1();
+        let expected = (1.0 - 0.166) / (0.166 * 0.122);
+        assert!((b1.recovery_gain() - expected).abs() < 1e-12);
+        // Capacity does not enter the gain: B2 shares it.
+        assert_eq!(b1.recovery_gain(), BatteryParams::itsy_b2().recovery_gain());
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Closed-form solution of the RV diffusion model under constant current.
+//!
+//! The truncated σ(t) of [`crate::RvParams`] admits an exact state-space
+//! form: with the *diffusion moments*
+//!
+//! ```text
+//! u_m(t) = ∫₀ᵗ i(τ) e^{-β²m²(t-τ)} dτ,        m = 1..M,
+//! ```
+//!
+//! the apparent charge lost is `σ(t) = consumed(t) + 2·Σ_m u_m(t)`, and for
+//! a constant current `I` over an interval of length `d` each moment evolves
+//! linearly:
+//!
+//! ```text
+//! u_m(t+d) = u_m(t)·e^{-β²m²d} + I·(1 - e^{-β²m²d}) / (β²m²)
+//! consumed(t+d) = consumed(t) + I·d
+//! ```
+//!
+//! This module provides that evolution, the closed-form σ(t) for a constant
+//! current from a fresh battery (the textbook RV discharge curve, used as
+//! the golden reference by the tests), and a robust first-crossing solver
+//! for the time to empty — the exact analogue of [`kibam::analytic`] for
+//! the diffusion model.
+
+use crate::{RvError, RvParams};
+
+/// Charge quantities below this value (A·min) are treated as zero.
+pub const CHARGE_EPSILON: f64 = 1e-9;
+
+/// Number of scan intervals used to bracket the first empty-crossing before
+/// bisection refines it.
+const SCAN_STEPS: usize = 4096;
+/// Number of bisection iterations; 80 halvings reduce any bracket far below
+/// f64 resolution.
+const BISECTION_ITERS: usize = 80;
+
+/// The continuous state of one RV battery: consumed charge plus the
+/// diffusion moments of the truncated correction term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffusionState {
+    /// Charge actually consumed so far, in A·min.
+    pub consumed: f64,
+    /// The diffusion moments `u_1..u_M`, in A·min.
+    pub moments: Vec<f64>,
+}
+
+impl DiffusionState {
+    /// The state of a freshly charged battery: nothing consumed, no
+    /// diffusion deficit.
+    #[must_use]
+    pub fn full(params: &RvParams) -> Self {
+        Self { consumed: 0.0, moments: vec![0.0; params.terms()] }
+    }
+
+    /// The apparent charge lost, `σ = consumed + 2·Σ_m u_m`, in A·min.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.consumed + 2.0 * self.moments.iter().sum::<f64>()
+    }
+
+    /// The margin to emptiness, `α - σ`, in A·min (negative once the
+    /// battery has over-consumed past the criterion).
+    #[must_use]
+    pub fn margin(&self, params: &RvParams) -> f64 {
+        params.alpha() - self.sigma()
+    }
+
+    /// The apparent remaining charge `max(α - σ, 0)` in A·min — what a
+    /// scheduling policy sees as "available".
+    #[must_use]
+    pub fn apparent_charge(&self, params: &RvParams) -> f64 {
+        self.margin(params).max(0.0)
+    }
+
+    /// The emptiness criterion `σ(t) ≥ α` (with [`CHARGE_EPSILON`] slack).
+    #[must_use]
+    pub fn is_empty(&self, params: &RvParams) -> bool {
+        self.margin(params) <= CHARGE_EPSILON
+    }
+}
+
+/// Evolves an RV state under a constant current `current` for `duration`
+/// minutes, using the exact solution of the moment recurrences.
+///
+/// A zero current models an idle (recovery) period: the consumed charge
+/// stays constant while the diffusion moments — and with them the apparent
+/// charge lost — relax towards zero.
+///
+/// # Errors
+///
+/// Returns [`RvError::InvalidCurrent`] for negative or non-finite currents
+/// and [`RvError::InvalidDuration`] for negative or non-finite durations.
+///
+/// # Example
+///
+/// ```
+/// use rv::analytic::{evolve, DiffusionState};
+/// use rv::RvParams;
+///
+/// # fn main() -> Result<(), rv::RvError> {
+/// let b1 = RvParams::itsy_b1();
+/// let full = DiffusionState::full(&b1);
+/// // One minute at 500 mA: half an A·min consumed, a positive deficit.
+/// let after = evolve(&b1, &full, 0.5, 1.0)?;
+/// assert!((after.consumed - 0.5).abs() < 1e-12);
+/// assert!(after.sigma() > after.consumed);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evolve(
+    params: &RvParams,
+    state: &DiffusionState,
+    current: f64,
+    duration: f64,
+) -> Result<DiffusionState, RvError> {
+    validate_current(current)?;
+    validate_duration(duration)?;
+    Ok(evolve_unchecked(params, state, current, duration))
+}
+
+/// Evolution without argument validation; shared by the scanning routines.
+pub(crate) fn evolve_unchecked(
+    params: &RvParams,
+    state: &DiffusionState,
+    current: f64,
+    duration: f64,
+) -> DiffusionState {
+    if duration == 0.0 {
+        return state.clone();
+    }
+    let moments = state
+        .moments
+        .iter()
+        .enumerate()
+        .map(|(index, &u)| {
+            let rate = params.rate(index + 1);
+            let decay = (-rate * duration).exp();
+            u * decay + current * (1.0 - decay) / rate
+        })
+        .collect();
+    DiffusionState { consumed: state.consumed + current * duration, moments }
+}
+
+/// The closed-form apparent charge lost `σ(t)` of a **fresh** battery under
+/// a constant current — the textbook RV discharge expression
+///
+/// ```text
+/// σ(t) = I·t + 2I·Σ_{m=1}^{M} (1 - e^{-β²m²t}) / (β²m²)
+/// ```
+///
+/// The state-space evolution must reproduce this exactly; the tests pin the
+/// agreement, which makes this the independent golden reference for the
+/// stepping implementations.
+#[must_use]
+pub fn sigma_constant(params: &RvParams, current: f64, t: f64) -> f64 {
+    let correction: f64 = (1..=params.terms())
+        .map(|m| {
+            let rate = params.rate(m);
+            (1.0 - (-rate * t).exp()) / rate
+        })
+        .sum();
+    current * t + 2.0 * current * correction
+}
+
+/// Computes the time until the battery first satisfies the emptiness
+/// criterion `σ(t) = α` when a constant current is drawn from the given
+/// state.
+///
+/// Returns `Ok(None)` if the battery never empties under this current — in
+/// particular for `current == 0` (idle periods only dissipate the deficit).
+/// Returns `Ok(Some(0.0))` if the state is already empty.
+///
+/// # Errors
+///
+/// Returns [`RvError::InvalidCurrent`] for negative or non-finite currents.
+pub fn time_to_empty(
+    params: &RvParams,
+    state: &DiffusionState,
+    current: f64,
+) -> Result<Option<f64>, RvError> {
+    validate_current(current)?;
+    if state.is_empty(params) {
+        return Ok(Some(0.0));
+    }
+    if current <= CHARGE_EPSILON {
+        // Idle: consumed constant, moments decay, the margin only grows.
+        return Ok(None);
+    }
+    // Upper bound: σ(t) ≥ consumed + I·t, so the crossing lies at or before
+    // the point where the *true* remaining charge runs out.
+    let t_max = ((params.alpha() - state.consumed) / current).max(0.0);
+    if t_max == 0.0 {
+        return Ok(Some(0.0));
+    }
+    let margin_at =
+        |t: f64| evolve_unchecked(params, state, current, t).margin(params) - CHARGE_EPSILON;
+
+    // The margin is positive at t = 0 and non-positive at t_max. σ is not
+    // monotone from arbitrary states (a stressed battery recovers under a
+    // light load), so scan for the *first* sign change, then bisect.
+    #[allow(clippy::cast_precision_loss)]
+    let step = t_max / SCAN_STEPS as f64;
+    let mut lo = 0.0_f64;
+    let mut hi = t_max;
+    let mut found = false;
+    for i in 1..=SCAN_STEPS {
+        #[allow(clippy::cast_precision_loss)]
+        let t = step * i as f64;
+        if margin_at(t) <= 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            let previous = step * (i - 1) as f64;
+            lo = previous;
+            hi = t;
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        // Numerical corner case: treat the upper bound as the crossing.
+        return Ok(Some(t_max));
+    }
+    for _ in 0..BISECTION_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if margin_at(mid) <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(0.5 * (lo + hi)))
+}
+
+/// Lifetime of a full battery under a constant discharge current — the
+/// single-battery `CL` case. Returns `Ok(None)` for a zero current.
+///
+/// # Errors
+///
+/// Returns [`RvError::InvalidCurrent`] for negative or non-finite currents.
+pub fn lifetime_constant_current(params: &RvParams, current: f64) -> Result<Option<f64>, RvError> {
+    time_to_empty(params, &DiffusionState::full(params), current)
+}
+
+fn validate_current(current: f64) -> Result<(), RvError> {
+    if !(current.is_finite() && current >= 0.0) {
+        return Err(RvError::InvalidCurrent { value: current });
+    }
+    Ok(())
+}
+
+fn validate_duration(duration: f64) -> Result<(), RvError> {
+    if !(duration.is_finite() && duration >= 0.0) {
+        return Err(RvError::InvalidDuration { value: duration });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b1() -> RvParams {
+        RvParams::itsy_b1()
+    }
+
+    #[test]
+    fn evolve_validates_arguments() {
+        let params = b1();
+        let full = DiffusionState::full(&params);
+        assert!(matches!(evolve(&params, &full, -0.1, 1.0), Err(RvError::InvalidCurrent { .. })));
+        assert!(matches!(evolve(&params, &full, 0.1, -1.0), Err(RvError::InvalidDuration { .. })));
+        assert!(matches!(
+            evolve(&params, &full, f64::NAN, 1.0),
+            Err(RvError::InvalidCurrent { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_duration_is_identity() {
+        let params = b1();
+        let state = DiffusionState { consumed: 1.2, moments: vec![0.3; params.terms()] };
+        assert_eq!(evolve(&params, &state, 0.5, 0.0).unwrap(), state);
+    }
+
+    #[test]
+    fn evolution_from_fresh_matches_the_closed_form_sigma() {
+        // The state-space recurrences and the textbook σ(t) expression are
+        // two forms of the same solution; they must agree to float
+        // precision at every probed time and current.
+        let params = b1();
+        let full = DiffusionState::full(&params);
+        for &current in &[0.1, 0.25, 0.5] {
+            for &t in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+                let stepped = evolve(&params, &full, current, t).unwrap().sigma();
+                let closed = sigma_constant(&params, current, t);
+                assert!(
+                    (stepped - closed).abs() < 1e-12,
+                    "I={current} t={t}: {stepped} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_evolution_composes() {
+        // Evolving 2 minutes in one go equals evolving twice 1 minute.
+        let params = b1();
+        let full = DiffusionState::full(&params);
+        let once = evolve(&params, &full, 0.5, 2.0).unwrap();
+        let half = evolve(&params, &full, 0.5, 1.0).unwrap();
+        let twice = evolve(&params, &half, 0.5, 1.0).unwrap();
+        assert!((once.sigma() - twice.sigma()).abs() < 1e-12);
+        assert!((once.consumed - twice.consumed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_periods_dissipate_the_deficit() {
+        let params = b1();
+        let full = DiffusionState::full(&params);
+        let stressed = evolve(&params, &full, 0.5, 1.0).unwrap();
+        let rested = evolve(&params, &stressed, 0.0, 5.0).unwrap();
+        assert_eq!(rested.consumed, stressed.consumed, "idle consumes nothing");
+        assert!(rested.sigma() < stressed.sigma(), "the deficit decays");
+        assert!(rested.apparent_charge(&params) > stressed.apparent_charge(&params));
+        // Each moment decays exponentially at its own rate.
+        for (index, (&before, &after)) in stressed.moments.iter().zip(&rested.moments).enumerate() {
+            let expected = before * (-params.rate(index + 1) * 5.0).exp();
+            assert!((after - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deficit_approaches_the_steady_state_gain() {
+        // Under a sustained light current the deficit settles at
+        // recovery_gain * I — the quantity the KiBaM fit matches.
+        let params = b1();
+        let long = evolve(&params, &DiffusionState::full(&params), 0.01, 2000.0).unwrap();
+        let deficit = long.sigma() - long.consumed;
+        assert!((deficit - params.recovery_gain() * 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_golden_values_for_the_b1_fit() {
+        // Golden discharge times of the fitted B1 under the paper's two
+        // current levels, pinned against the closed-form σ(t) solution
+        // (σ(t*) = α). The fit matches the deficit response at t → 0 and
+        // t → ∞; over a full constant-rate discharge the diffusion
+        // transients integrate into somewhat longer lives than the KiBaM's
+        // Table 3 values (4.53 / 2.02 min) — the documented cross-model
+        // difference, which shrinks to a few percent on the intermittent
+        // scheduling loads (see the BENCH_crossmodel table).
+        let params = b1();
+        let cl250 = lifetime_constant_current(&params, 0.25).unwrap().unwrap();
+        let cl500 = lifetime_constant_current(&params, 0.5).unwrap().unwrap();
+        assert!((sigma_constant(&params, 0.25, cl250) - params.alpha()).abs() < 1e-6);
+        assert!((sigma_constant(&params, 0.5, cl500) - params.alpha()).abs() < 1e-6);
+        assert!((cl250 - 4.918).abs() < 0.01, "CL 250 lifetime {cl250}");
+        assert!((cl500 - 1.958).abs() < 0.01, "CL 500 lifetime {cl500}");
+        assert!((cl250 / 4.53 - 1.0).abs() < 0.12, "CL 250 stays in the KiBaM's range");
+        assert!((cl500 / 2.02 - 1.0).abs() < 0.12, "CL 500 stays in the KiBaM's range");
+    }
+
+    #[test]
+    fn b2_at_double_current_matches_b1_scaled() {
+        // α scales linearly and β² is shared, so B2 at 2I lives exactly as
+        // long as B1 at I (the same scale invariance as Tables 3/4).
+        let l1 = lifetime_constant_current(&RvParams::itsy_b1(), 0.25).unwrap().unwrap();
+        let l2 = lifetime_constant_current(&RvParams::itsy_b2(), 0.5).unwrap().unwrap();
+        assert!((l1 - l2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_current_never_empties() {
+        assert_eq!(lifetime_constant_current(&b1(), 0.0).unwrap(), None);
+    }
+
+    #[test]
+    fn already_empty_state_has_zero_time_to_empty() {
+        let params = b1();
+        let mut state = DiffusionState::full(&params);
+        state.consumed = params.alpha();
+        assert!(state.is_empty(&params));
+        assert_eq!(time_to_empty(&params, &state, 0.5).unwrap(), Some(0.0));
+    }
+
+    #[test]
+    fn higher_current_delivers_less_charge_rate_capacity_effect() {
+        let params = b1();
+        let low = lifetime_constant_current(&params, 0.25).unwrap().unwrap();
+        let high = lifetime_constant_current(&params, 0.5).unwrap().unwrap();
+        assert!(0.25 * low > 0.5 * high);
+    }
+
+    #[test]
+    fn time_to_empty_is_monotone_in_current() {
+        let params = b1();
+        let full = DiffusionState::full(&params);
+        let mut previous = f64::INFINITY;
+        for current in [0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
+            let t = time_to_empty(&params, &full, current).unwrap().unwrap();
+            assert!(t < previous, "lifetime must shrink as current grows");
+            previous = t;
+        }
+    }
+
+    #[test]
+    fn recovery_extends_the_remaining_lifetime() {
+        // Serve hard, then compare continuing immediately vs after a rest:
+        // the rested battery must last longer — the recovery effect the
+        // scheduling policies exploit.
+        let params = b1();
+        let stressed = evolve(&params, &DiffusionState::full(&params), 0.5, 1.0).unwrap();
+        let immediately = time_to_empty(&params, &stressed, 0.5).unwrap().unwrap();
+        let rested = evolve(&params, &stressed, 0.0, 2.0).unwrap();
+        let after_rest = time_to_empty(&params, &rested, 0.5).unwrap().unwrap();
+        assert!(after_rest > immediately);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or using Rakhmatov–Vrudhula model
+/// entities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RvError {
+    /// The capacity parameter `α` was zero, negative, NaN or infinite.
+    InvalidAlpha {
+        /// The rejected capacity value (A·min).
+        value: f64,
+    },
+    /// The diffusion rate `β²` was zero, negative, NaN or infinite.
+    InvalidDiffusionRate {
+        /// The rejected rate (1/min).
+        value: f64,
+    },
+    /// The exponential-sum truncation order was zero or above
+    /// [`crate::MAX_TERMS`].
+    InvalidTerms {
+        /// The rejected truncation order.
+        value: usize,
+    },
+    /// A discharge current was negative, NaN or infinite.
+    InvalidCurrent {
+        /// The rejected current (A).
+        value: f64,
+    },
+    /// A duration was negative, NaN or infinite.
+    InvalidDuration {
+        /// The rejected duration (min).
+        value: f64,
+    },
+}
+
+impl fmt::Display for RvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvError::InvalidAlpha { value } => {
+                write!(f, "RV capacity alpha must be positive and finite, got {value}")
+            }
+            RvError::InvalidDiffusionRate { value } => {
+                write!(f, "RV diffusion rate beta^2 must be positive and finite, got {value}")
+            }
+            RvError::InvalidTerms { value } => {
+                write!(f, "RV truncation order must lie in 1..={}, got {value}", crate::MAX_TERMS)
+            }
+            RvError::InvalidCurrent { value } => {
+                write!(f, "discharge current must be non-negative and finite, got {value}")
+            }
+            RvError::InvalidDuration { value } => {
+                write!(f, "duration must be non-negative and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for RvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_value() {
+        assert!(RvError::InvalidAlpha { value: -1.0 }.to_string().contains("-1"));
+        assert!(RvError::InvalidDiffusionRate { value: 0.0 }.to_string().contains('0'));
+        assert!(RvError::InvalidTerms { value: 99 }.to_string().contains("99"));
+        assert!(RvError::InvalidCurrent { value: f64::NAN }.to_string().contains("NaN"));
+        assert!(RvError::InvalidDuration { value: -2.0 }.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<RvError>();
+    }
+}

@@ -1,0 +1,176 @@
+//! Cross-model validation: the paper's scheduling conclusions under the
+//! Rakhmatov–Vrudhula diffusion backend.
+//!
+//! The reproduction's headline claims — battery scheduling extends system
+//! lifetime, best-of-two ≥ round robin ≥ sequential, and the optimal
+//! schedule beats every deterministic policy on alternating loads — are
+//! only as strong as the battery model behind them. These tests replay the
+//! claims against the RV diffusion backend (`battery_sched::backends::RvDiffusion`),
+//! whose parameters are *fitted* from the KiBaM's (shared capacity, matched
+//! short-time response slope and steady-state recovery gain) but whose
+//! dynamics are a genuinely different chemistry, and pin the
+//! discretized-vs-analytic agreement of the RV stepping form itself.
+
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::policy::{BestAvailable, RoundRobin, SchedulingPolicy, Sequential};
+use battery_sched::system::{simulate_policy_with, SystemConfig};
+use dkibam::Discretization;
+use kibam::BatteryParams;
+use rv::analytic::{evolve, time_to_empty, DiffusionState};
+use rv::RvParams;
+use workload::paper_loads::TestLoad;
+
+fn paper_two_b1() -> SystemConfig {
+    SystemConfig::paper_two_b1()
+}
+
+fn rv_lifetime(config: &SystemConfig, load: TestLoad, policy: &mut dyn SchedulingPolicy) -> f64 {
+    let discretized = config.discretize(&load.profile()).unwrap();
+    let mut model = config.rv_model();
+    simulate_policy_with(config, &discretized, policy, &mut model)
+        .unwrap()
+        .lifetime_minutes()
+        .expect("paper loads exhaust both batteries")
+}
+
+fn kibam_lifetime(config: &SystemConfig, load: TestLoad, policy: &mut dyn SchedulingPolicy) -> f64 {
+    let discretized = config.discretize(&load.profile()).unwrap();
+    let mut model = config.discretized_model();
+    simulate_policy_with(config, &discretized, policy, &mut model)
+        .unwrap()
+        .lifetime_minutes()
+        .expect("paper loads exhaust both batteries")
+}
+
+#[test]
+fn policy_ranking_holds_under_rv_on_every_paper_load() {
+    // Table 5's ranking — best-of-two ≥ round robin ≥ sequential — must
+    // reproduce under the diffusion model on all ten paper loads (the
+    // cross-model agreement the BENCH_crossmodel table archives).
+    let config = paper_two_b1();
+    for load in TestLoad::all() {
+        let seq = rv_lifetime(&config, load, &mut Sequential::new());
+        let rr = rv_lifetime(&config, load, &mut RoundRobin::new());
+        let best = rv_lifetime(&config, load, &mut BestAvailable::new());
+        assert!(seq <= rr + 0.03, "{load}: RV sequential {seq} must not beat round robin {rr}");
+        assert!(rr <= best + 0.03, "{load}: RV round robin {rr} must not beat best-of-two {best}");
+    }
+}
+
+#[test]
+fn best_of_two_still_wins_the_alternating_load_under_rv() {
+    // The paper's sharpest deterministic-policy result: best-of-two gains
+    // ~27 % over round robin on ILs alt. The diffusion model reproduces a
+    // clear gain too — the recovery effect the policy exploits is not a
+    // KiBaM artifact.
+    let config = paper_two_b1();
+    let rr = rv_lifetime(&config, TestLoad::IlsAlt, &mut RoundRobin::new());
+    let best = rv_lifetime(&config, TestLoad::IlsAlt, &mut BestAvailable::new());
+    assert!(best > rr * 1.15, "RV best-of-two {best} should clearly beat round robin {rr}");
+}
+
+#[test]
+fn rv_and_kibam_lifetimes_agree_on_intermittent_scheduling_loads() {
+    // The fit matches the deficit response at both ends, so on the
+    // one-minute-idle loads the scheduling study runs on, absolute
+    // lifetimes land within ~20 % of the KiBaM's. Constant loads integrate
+    // the transient differences, and the two-minute-idle `IL'` loads let
+    // the RV's slower modes keep recovering where the discretized KiBaM's
+    // recovery floors at one height unit — both drift further, and the
+    // crossmodel bench table records every cell.
+    let config = paper_two_b1();
+    for load in [TestLoad::Ils250, TestLoad::Ils500, TestLoad::IlsAlt] {
+        let kibam = kibam_lifetime(&config, load, &mut RoundRobin::new());
+        let rv = rv_lifetime(&config, load, &mut RoundRobin::new());
+        let relative = (rv - kibam).abs() / kibam;
+        assert!(relative < 0.2, "{load}: KiBaM {kibam:.2} vs RV {rv:.2} ({relative:.2} rel)");
+    }
+}
+
+#[test]
+fn rv_optimal_search_beats_every_deterministic_policy_on_ils_alt() {
+    // The deeper claim behind Table 5's optimal column: a schedule that
+    // plans recovery beats every greedy policy. On the coarse grid the RV
+    // optimal search must dominate, with a clear margin on the
+    // alternating load.
+    let config = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), 2).unwrap();
+    let load = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
+    let mut model = config.rv_model();
+    let optimal = OptimalScheduler::new().find_optimal_with(&config, &load, &mut model).unwrap();
+    for policy in [
+        &mut Sequential::new() as &mut dyn SchedulingPolicy,
+        &mut RoundRobin::new(),
+        &mut BestAvailable::new(),
+    ] {
+        let outcome = simulate_policy_with(&config, &load, policy, &mut model).unwrap();
+        assert!(
+            optimal.lifetime_steps >= outcome.lifetime_steps().unwrap(),
+            "RV optimal must dominate {}",
+            policy.name()
+        );
+    }
+    let rr = simulate_policy_with(&config, &load, &mut RoundRobin::new(), &mut model)
+        .unwrap()
+        .lifetime_steps()
+        .unwrap();
+    #[allow(clippy::cast_precision_loss)]
+    let gain = optimal.lifetime_steps as f64 / rr as f64;
+    assert!(gain > 1.15, "RV optimal gains {gain:.2}x over round robin");
+}
+
+#[test]
+fn discretized_stepping_matches_the_analytic_rv_model_at_fine_grids() {
+    // Drive one battery through an intermittent 500 mA load (1 min on,
+    // 1 min idle) twice: with the exact piecewise-analytic moment
+    // evolution, and with the discretized stepping backend on a grid 5x
+    // finer than the paper's. The observed lifetimes must agree to within
+    // a couple of draw intervals.
+    let params = RvParams::itsy_b1();
+    let mut state = DiffusionState::full(&params);
+    let mut analytic_minutes = 0.0;
+    loop {
+        if let Some(dt) = time_to_empty(&params, &state, 0.5).unwrap() {
+            if dt <= 1.0 {
+                analytic_minutes += dt;
+                break;
+            }
+        }
+        state = evolve(&params, &state, 0.5, 1.0).unwrap();
+        analytic_minutes += 1.0;
+        state = evolve(&params, &state, 0.0, 1.0).unwrap();
+        analytic_minutes += 1.0;
+        assert!(analytic_minutes < 1000.0, "analytic reference failed to terminate");
+    }
+
+    let disc = Discretization::new(0.002, 0.002).unwrap();
+    let config = SystemConfig::new(BatteryParams::itsy_b1(), disc, 1).unwrap();
+    let mut model = config.rv_model();
+    use battery_sched::model::BatteryModel;
+    let mut steps: u64 = 0;
+    loop {
+        // 1 min of 500 mA: 500 steps, one 0.002 A·min unit every 2 steps.
+        let advance = model.advance_job(0, 500, 2, 1).unwrap();
+        steps += advance.steps_consumed;
+        if !advance.completed {
+            break;
+        }
+        model.advance_idle(500);
+        steps += 500;
+        assert!(steps < 1_000_000, "discretized stepping failed to terminate");
+    }
+    let stepped_minutes = disc.steps_to_minutes(steps);
+    assert!(
+        (stepped_minutes - analytic_minutes).abs() < 0.02,
+        "stepped {stepped_minutes} vs analytic {analytic_minutes}"
+    );
+}
+
+#[test]
+fn rv_backend_reports_its_name_through_the_simulator() {
+    let config = paper_two_b1();
+    let load = config.discretize(&TestLoad::Cl500.profile()).unwrap();
+    let mut model = config.rv_model();
+    let outcome = simulate_policy_with(&config, &load, &mut RoundRobin::new(), &mut model).unwrap();
+    assert_eq!(outcome.backend(), "rv");
+    assert!(outcome.residual_charge() > 0.0, "the RV model strands charge too");
+}
