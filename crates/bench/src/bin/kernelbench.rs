@@ -1,0 +1,387 @@
+//! Stepping-kernel throughput: scalar per-system state vs the batched
+//! struct-of-arrays kernels, at N ∈ {1, 8, 64, 512} cells, per backend.
+//!
+//! The workload is the engine's hot loop in miniature: N cells are grouped
+//! into four-battery systems (N = 1 keeps a single-battery system), and
+//! each measurement cycle resets the fleet and runs three rounds of
+//! *serve each battery in turn → idle* with the paper's B1 cell on the
+//! paper grid — drain rates chosen so no cell empties inside a cycle, so
+//! scalar and batched paths execute identical step counts. The scalar
+//! side is the pre-batching engine representation
+//! ([`dkibam::multi::MultiBatteryState`] per system, one [`rv::RvCell`] vector per
+//! system); the batched side packs all systems into one
+//! [`dkibam::DiscreteBatch`] / [`rv::RvBatch`]. After timing, the final
+//! states of both paths are compared word-for-word — a throughput number
+//! from a diverging kernel would be meaningless, so divergence aborts.
+//!
+//! Output: a table on stdout and `BENCH_kernel.json` (override with a
+//! positional path). `--smoke` shrinks the workload for CI. `--min-speedup
+//! X` exits non-zero if the batched path is below `X`× scalar at the
+//! largest N on the discretized backend (the PR's acceptance gate).
+//!
+//! ```text
+//! kernelbench [OUT] [--smoke] [--min-speedup X]
+//! ```
+
+use dkibam::multi::MultiBatteryState;
+use dkibam::{DiscreteBatch, DiscreteFleet, Discretization};
+use engine::json::JsonValue;
+use kibam::BatteryParams;
+use rv::{RvBatch, RvCell, RvFleet};
+use std::time::Instant;
+
+/// Batch sizes measured, in cells (= battery lanes).
+const CELL_COUNTS: [usize; 4] = [1, 8, 64, 512];
+
+/// Batteries per system. The scalar path recovers every passive battery at
+/// every draw instant while the batched kernel bulk-recovers passive lanes
+/// once per job, so the gap widens with fleet size; four batteries is the
+/// representative multi-battery fleet from the grid sweeps.
+const LANES_PER_SYSTEM: usize = 4;
+
+/// Steps served per job portion (one draw of 1 unit every 4 steps — the
+/// paper's 0.5 A level on the paper grid).
+const SERVE_STEPS: u64 = 120;
+const DRAW_INTERVAL: u32 = 4;
+const UNITS_PER_DRAW: u32 = 1;
+
+/// Idle steps between rounds.
+const IDLE_STEPS: u64 = 120;
+
+/// Rounds per cycle: three rounds drain ~90 units of the active battery's
+/// available charge — just under B1's Eq. 8 emptiness boundary, so every
+/// cycle runs its full nominal step count on both paths.
+const ROUNDS_PER_CYCLE: u64 = 3;
+
+/// Nominal steps every lane advances per cycle (serve, sibling's serve as
+/// recovery, idle — all three windows touch every lane).
+fn lane_steps_per_cycle(lanes_per_system: usize) -> u64 {
+    ROUNDS_PER_CYCLE * (SERVE_STEPS * lanes_per_system as u64 + IDLE_STEPS)
+}
+
+struct Options {
+    out: String,
+    smoke: bool,
+    min_speedup: Option<f64>,
+}
+
+fn parse_options() -> Options {
+    let mut options =
+        Options { out: "BENCH_kernel.json".to_owned(), smoke: false, min_speedup: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--min-speedup" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--min-speedup needs a value");
+                    std::process::exit(2);
+                });
+                options.min_speedup = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("cannot parse '{value}'");
+                    std::process::exit(2);
+                }));
+            }
+            other if !other.starts_with("--") => options.out = other.to_owned(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+/// One measured row: scalar and batched throughput at one cell count.
+struct Row {
+    cells: usize,
+    scalar_cell_steps_per_sec: f64,
+    batched_cell_steps_per_sec: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.batched_cell_steps_per_sec / self.scalar_cell_steps_per_sec
+    }
+}
+
+/// Times `run` over `cycles` workload cycles, returning the best-of-3
+/// cell-steps/second (minimum wall time filters scheduler noise).
+fn time_throughput(
+    cells: usize,
+    lanes_per_system: usize,
+    cycles: u64,
+    mut run: impl FnMut(u64),
+) -> f64 {
+    let total_lane_steps = cells as u64 * lane_steps_per_cycle(lanes_per_system) * cycles;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        run(cycles);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let steps = total_lane_steps as f64;
+    steps / best
+}
+
+/// Measures the discretized-KiBaM backend at one cell count and checks the
+/// final batch state against the scalar state word-for-word.
+fn measure_discretized(cells: usize, cycles: u64) -> Row {
+    let lanes_per_system = LANES_PER_SYSTEM.min(cells);
+    let systems = cells / lanes_per_system;
+    let disc = Discretization::paper_default();
+    let fleet = DiscreteFleet::uniform(&BatteryParams::itsy_b1(), &disc, lanes_per_system);
+    let type_params: Vec<BatteryParams> =
+        (0..fleet.spec().type_count()).map(|t| *fleet.spec().type_params(t)).collect();
+
+    // Scalar: one MultiBatteryState per system (the pre-batching engine).
+    let mut scalar: Vec<MultiBatteryState> =
+        (0..systems).map(|_| MultiBatteryState::new_full(&fleet)).collect();
+    let scalar_throughput = time_throughput(cells, lanes_per_system, cycles, |cycles| {
+        for _ in 0..cycles {
+            for state in &mut scalar {
+                *state = MultiBatteryState::new_full(&fleet);
+            }
+            for _ in 0..ROUNDS_PER_CYCLE {
+                for state in &mut scalar {
+                    for active in 0..lanes_per_system {
+                        state
+                            .advance_job(active, SERVE_STEPS, DRAW_INTERVAL, UNITS_PER_DRAW, &fleet)
+                            .expect("active index is in range");
+                    }
+                }
+                for state in &mut scalar {
+                    state.advance_idle(IDLE_STEPS, &fleet);
+                }
+            }
+        }
+    });
+
+    // Batched: every system is a lane range of one struct-of-arrays batch.
+    let mut batch = DiscreteBatch::with_capacity(cells);
+    let ranges: Vec<_> = (0..systems).map(|_| batch.push_fleet(&fleet)).collect();
+    let batched_throughput = time_throughput(cells, lanes_per_system, cycles, |cycles| {
+        for _ in 0..cycles {
+            batch.reset_range(0..cells, &type_params, fleet.disc());
+            for _ in 0..ROUNDS_PER_CYCLE {
+                for range in &ranges {
+                    for active in range.clone() {
+                        batch
+                            .advance_job_range(
+                                range.clone(),
+                                active,
+                                SERVE_STEPS,
+                                DRAW_INTERVAL,
+                                UNITS_PER_DRAW,
+                                &type_params,
+                                fleet.type_tables(),
+                            )
+                            .expect("active lane is in range");
+                    }
+                }
+                batch.recover_range(0..cells, IDLE_STEPS, fleet.type_tables());
+            }
+        }
+    });
+
+    // Word-for-word identity of the final states: the throughput comparison
+    // is only meaningful if both paths computed the same thing.
+    for (system, state) in scalar.iter().enumerate() {
+        for (index, battery) in state.batteries().iter().enumerate() {
+            let lane = ranges[system].start + index;
+            assert_eq!(
+                batch.state_word(lane),
+                battery.state_word(),
+                "discretized batch diverged from scalar at lane {lane}"
+            );
+        }
+    }
+
+    Row {
+        cells,
+        scalar_cell_steps_per_sec: scalar_throughput,
+        batched_cell_steps_per_sec: batched_throughput,
+    }
+}
+
+/// Scalar mirror of the RV backend's job advance: serve the active cell,
+/// then recover the system's other cells by the steps that elapsed.
+fn rv_scalar_job(cells: &mut [RvCell], active: usize, fleet: &RvFleet) {
+    let table = fleet.table_of(active);
+    if cells[active].is_observed_empty() || table.is_empty(&cells[active]) {
+        cells[active].mark_observed_empty();
+        return;
+    }
+    let advance = table.serve(&mut cells[active], SERVE_STEPS, DRAW_INTERVAL, UNITS_PER_DRAW);
+    for (index, cell) in cells.iter_mut().enumerate() {
+        if index != active {
+            fleet.table_of(index).recover(cell, advance.steps_consumed);
+        }
+    }
+}
+
+/// Measures the RV-diffusion backend at one cell count, with the same
+/// final-state identity check as the discretized path.
+fn measure_rv(cells: usize, cycles: u64) -> Row {
+    let lanes_per_system = LANES_PER_SYSTEM.min(cells);
+    let systems = cells / lanes_per_system;
+    let disc = Discretization::paper_default();
+    let fleet = RvFleet::uniform(&BatteryParams::itsy_b1(), &disc, lanes_per_system);
+
+    let mut scalar: Vec<Vec<RvCell>> = (0..systems)
+        .map(|_| (0..lanes_per_system).map(|i| fleet.table_of(i).fresh_cell()).collect())
+        .collect();
+    let scalar_throughput = time_throughput(cells, lanes_per_system, cycles, |cycles| {
+        for _ in 0..cycles {
+            for system in &mut scalar {
+                for (index, cell) in system.iter_mut().enumerate() {
+                    *cell = fleet.table_of(index).fresh_cell();
+                }
+            }
+            for _ in 0..ROUNDS_PER_CYCLE {
+                for system in &mut scalar {
+                    for active in 0..lanes_per_system {
+                        rv_scalar_job(system, active, &fleet);
+                    }
+                }
+                for system in &mut scalar {
+                    for (index, cell) in system.iter_mut().enumerate() {
+                        fleet.table_of(index).recover(cell, IDLE_STEPS);
+                    }
+                }
+            }
+        }
+    });
+
+    let mut batch = RvBatch::with_capacity(cells);
+    let ranges: Vec<_> = (0..systems).map(|_| batch.push_fleet(&fleet)).collect();
+    let batched_throughput = time_throughput(cells, lanes_per_system, cycles, |cycles| {
+        for _ in 0..cycles {
+            batch.reset_range(0..cells);
+            for _ in 0..ROUNDS_PER_CYCLE {
+                for range in &ranges {
+                    for active in range.clone() {
+                        batch.advance_job_range(
+                            range.clone(),
+                            active,
+                            SERVE_STEPS,
+                            DRAW_INTERVAL,
+                            UNITS_PER_DRAW,
+                            fleet.type_tables(),
+                        );
+                    }
+                }
+                batch.recover_range(0..cells, IDLE_STEPS, fleet.type_tables());
+            }
+        }
+    });
+
+    for (system, state) in scalar.iter().enumerate() {
+        for (index, cell) in state.iter().enumerate() {
+            let lane = ranges[system].start + index;
+            assert_eq!(
+                batch.state_word(lane, fleet.type_tables()),
+                fleet.table_of(index).state_word(cell),
+                "rv batch diverged from scalar at lane {lane}"
+            );
+        }
+    }
+
+    Row {
+        cells,
+        scalar_cell_steps_per_sec: scalar_throughput,
+        batched_cell_steps_per_sec: batched_throughput,
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    // Cycle counts scale inversely with N so every row does comparable
+    // total work; smoke mode cuts the budget ~8x for CI.
+    let budget_lane_steps: u64 = if options.smoke { 1_000_000 } else { 8_000_000 };
+
+    let mut backends = Vec::new();
+    let mut gate_speedup = None;
+    for backend in ["discretized", "rv"] {
+        println!("{backend} kernels (cell-steps/second, best of 3):");
+        println!("{:>6} {:>14} {:>14} {:>9}", "cells", "scalar", "batched", "speedup");
+        let mut rows = Vec::new();
+        for cells in CELL_COUNTS {
+            let lanes_per_system = LANES_PER_SYSTEM.min(cells);
+            let cycles = (budget_lane_steps
+                / (cells as u64 * lane_steps_per_cycle(lanes_per_system)))
+            .max(1);
+            let row = match backend {
+                "discretized" => measure_discretized(cells, cycles),
+                _ => measure_rv(cells, cycles),
+            };
+            println!(
+                "{:>6} {:>14.3e} {:>14.3e} {:>8.2}x",
+                row.cells,
+                row.scalar_cell_steps_per_sec,
+                row.batched_cell_steps_per_sec,
+                row.speedup()
+            );
+            if backend == "discretized" && cells == *CELL_COUNTS.last().unwrap() {
+                gate_speedup = Some(row.speedup());
+            }
+            rows.push(row);
+        }
+        println!();
+        #[allow(clippy::cast_precision_loss)]
+        backends.push(JsonValue::object(vec![
+            ("backend", JsonValue::String(backend.to_owned())),
+            (
+                "rows",
+                JsonValue::Array(
+                    rows.iter()
+                        .map(|row| {
+                            JsonValue::object(vec![
+                                ("cells", JsonValue::Number(row.cells as f64)),
+                                (
+                                    "scalar_cell_steps_per_sec",
+                                    JsonValue::Number(row.scalar_cell_steps_per_sec),
+                                ),
+                                (
+                                    "batched_cell_steps_per_sec",
+                                    JsonValue::Number(row.batched_cell_steps_per_sec),
+                                ),
+                                ("speedup", JsonValue::Number(row.speedup())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let document = JsonValue::object(vec![
+        ("smoke", JsonValue::Bool(options.smoke)),
+        ("serve_steps", JsonValue::Number(SERVE_STEPS as f64)),
+        ("draw_interval", JsonValue::Number(f64::from(DRAW_INTERVAL))),
+        ("idle_steps", JsonValue::Number(IDLE_STEPS as f64)),
+        ("backends", JsonValue::Array(backends)),
+    ]);
+    let json = document.render().expect("throughput numbers are finite");
+    if let Err(error) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {error}", options.out);
+        std::process::exit(1);
+    }
+    println!("wrote {} bytes to {}", json.len(), options.out);
+
+    if let (Some(minimum), Some(speedup)) = (options.min_speedup, gate_speedup) {
+        if speedup < minimum {
+            eprintln!(
+                "kernel gate: discretized batched speedup {speedup:.2}x at N={} is below \
+                 the {minimum:.2}x floor",
+                CELL_COUNTS.last().unwrap()
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "kernel gate ok: discretized {speedup:.2}x >= {minimum:.2}x at N={}",
+            CELL_COUNTS.last().unwrap()
+        );
+    }
+}

@@ -37,6 +37,13 @@
 //! they are overwritten). A gated cell that disappears from a run fails the
 //! gate — a dropped scenario must not pass as "nothing regressed".
 //!
+//! Million-cell sweeps shard across processes: `--shard I/N` streams only
+//! the `I`-th of `N` contiguous slices of the random grid, `--merge`
+//! concatenates shard documents back into one (verifying they share a
+//! spec), and `--compare` checks two result documents row-for-row (ignoring
+//! wall-clock times) — the CI proof that sharded and unsharded sweeps
+//! produce the same artifact.
+//!
 //! ```text
 //! scenarios [OUT] [--threads N]
 //!           [--optimal] [--optimal-out PATH] [--max-nodes N]
@@ -46,6 +53,10 @@
 //!           [--random-cells N] [--random-jobs N] [--random-out PATH]
 //!           [--analyze] [--analyze-seeds N]
 //!           [--chunk N]   # work-chunk size of the streamed random grid
+//!                         # (0 auto-sizes from grid size and thread count)
+//!           [--shard I/N] # stream only shard I of N of the random grid
+//! scenarios --merge OUT IN...   # concatenate shard documents into OUT
+//! scenarios --compare A B       # row-for-row equality (ignores wall_micros)
 //! ```
 
 use battery_sched::optimal::OptimalScheduler;
@@ -53,8 +64,8 @@ use battery_sched::system::SystemConfig;
 use dkibam::Discretization;
 use engine::json::JsonValue;
 use engine::{
-    results_from_json, results_to_json, run_grid_streaming, run_grid_with_threads, BackendKind,
-    BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, ScenarioSpec,
+    results_from_json, results_to_json, run_grid_streaming_sharded, run_grid_with_threads,
+    BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, ScenarioSpec,
 };
 use kibam::BatteryParams;
 use std::time::Instant;
@@ -64,6 +75,7 @@ struct Options {
     out: String,
     threads: usize,
     chunk: Option<usize>,
+    shard: Option<(usize, usize)>,
     optimal: bool,
     optimal_out: String,
     max_nodes: Option<u64>,
@@ -85,6 +97,7 @@ fn parse_options() -> Options {
         out: "BENCH_scenarios.json".to_owned(),
         threads: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         chunk: None,
+        shard: None,
         optimal: false,
         optimal_out: "BENCH_optimal.json".to_owned(),
         max_nodes: None,
@@ -111,6 +124,7 @@ fn parse_options() -> Options {
         match arg.as_str() {
             "--threads" => options.threads = parse(&value("--threads")),
             "--chunk" => options.chunk = Some(parse(&value("--chunk"))),
+            "--shard" => options.shard = Some(parse_shard(&value("--shard"))),
             "--optimal" => options.optimal = true,
             "--optimal-out" => options.optimal_out = value("--optimal-out"),
             "--max-nodes" => options.max_nodes = Some(parse(&value("--max-nodes"))),
@@ -140,6 +154,21 @@ fn parse<T: std::str::FromStr>(text: &str) -> T {
         eprintln!("cannot parse '{text}'");
         std::process::exit(2);
     })
+}
+
+/// Parses a `--shard` spec like `2/3` (shard index 2 of 3) into
+/// `(index, count)`.
+fn parse_shard(text: &str) -> (usize, usize) {
+    let Some((index, count)) = text.split_once('/') else {
+        eprintln!("--shard expects I/N (e.g. 0/3), got '{text}'");
+        std::process::exit(2);
+    };
+    let (index, count) = (parse::<usize>(index), parse::<usize>(count));
+    if count == 0 || index >= count {
+        eprintln!("--shard {index}/{count} is out of range");
+        std::process::exit(2);
+    }
+    (index, count)
 }
 
 /// Parses a `--fleet` spec like `B1+B2`, `B1+B1+B2` or `2xB1+B2` into a
@@ -174,6 +203,14 @@ fn parse_fleet(text: &str) -> FleetDef {
 }
 
 fn main() {
+    // Merge and compare are standalone utility modes (they run no grids),
+    // selected by their flag in first position.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--merge") => return run_merge(&args[1..]),
+        Some("--compare") => return run_compare(&args[1..]),
+        _ => {}
+    }
     let options = parse_options();
     run_paper_grid(&options);
     if options.optimal {
@@ -192,6 +229,120 @@ fn main() {
     if options.analyze {
         run_analyze(&options);
     }
+}
+
+/// Reads a result document (unsharded or one shard) into its spec and raw
+/// result rows, exiting with a diagnostic on failure.
+fn read_results(path: &str) -> (ScenarioSpec, Vec<JsonValue>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read {path}: {error}");
+            std::process::exit(1);
+        }
+    };
+    match results_from_json(&text) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("cannot parse {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--merge OUT IN...`: concatenates shard documents (in argument order,
+/// which must be shard order) into one result document at OUT. Every input
+/// must carry the same grid spec — shards of different grids refuse to
+/// merge instead of producing a silently inconsistent artifact.
+fn run_merge(args: &[String]) {
+    let [out, inputs @ ..] = args else {
+        eprintln!("--merge needs an output path and at least one input");
+        std::process::exit(2);
+    };
+    if inputs.is_empty() {
+        eprintln!("--merge needs at least one input document");
+        std::process::exit(2);
+    }
+    let mut merged: Option<(ScenarioSpec, Vec<JsonValue>)> = None;
+    for path in inputs {
+        let (spec, rows) = read_results(path);
+        match &mut merged {
+            Some((first_spec, all_rows)) => {
+                if *first_spec != spec {
+                    eprintln!(
+                        "{path} holds a different grid spec than {} — not shards of one grid",
+                        inputs[0]
+                    );
+                    std::process::exit(1);
+                }
+                all_rows.extend(rows);
+            }
+            None => merged = Some((spec, rows)),
+        }
+    }
+    let (spec, rows) = merged.expect("at least one input");
+    let document = JsonValue::object(vec![
+        ("spec", spec.to_json_value()),
+        ("results", JsonValue::Array(rows)),
+    ]);
+    let json = match document.render() {
+        Ok(json) => json,
+        Err(error) => {
+            eprintln!("cannot render the merged document: {error}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(error) = std::fs::write(out, &json) {
+        eprintln!("cannot write {out}: {error}");
+        std::process::exit(1);
+    }
+    let (_, rows) = read_results(out);
+    println!("merged {} inputs into {out} ({} result rows)", inputs.len(), rows.len());
+}
+
+/// A result row with its wall-clock field removed: simulation outcomes are
+/// deterministic, wall time never is.
+fn without_wall_micros(row: &JsonValue) -> JsonValue {
+    match row {
+        JsonValue::Object(fields) => JsonValue::Object(
+            fields.iter().filter(|(key, _)| key != "wall_micros").cloned().collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// `--compare A B`: verifies two result documents describe the same grid
+/// and hold identical result rows (ignoring `wall_micros`), row for row.
+/// Exits non-zero on any difference — the CI gate that a sharded sweep
+/// merged back together matches the unsharded run exactly.
+fn run_compare(args: &[String]) {
+    let [a_path, b_path] = args else {
+        eprintln!("--compare needs exactly two documents");
+        std::process::exit(2);
+    };
+    let (a_spec, a_rows) = read_results(a_path);
+    let (b_spec, b_rows) = read_results(b_path);
+    if a_spec != b_spec {
+        eprintln!("{a_path} and {b_path} describe different grids");
+        std::process::exit(1);
+    }
+    if a_rows.len() != b_rows.len() {
+        eprintln!(
+            "row count differs: {a_path} has {}, {b_path} has {}",
+            a_rows.len(),
+            b_rows.len()
+        );
+        std::process::exit(1);
+    }
+    for (index, (a, b)) in a_rows.iter().zip(&b_rows).enumerate() {
+        if without_wall_micros(a) != without_wall_micros(b) {
+            eprintln!("row {index} differs (ignoring wall_micros):");
+            eprintln!("  {a_path}: {}", a.render().unwrap_or_else(|e| e.to_string()));
+            eprintln!("  {b_path}: {}", b.render().unwrap_or_else(|e| e.to_string()));
+            std::process::exit(1);
+        }
+    }
+    println!("documents match: {} rows identical (wall_micros ignored)", a_rows.len());
 }
 
 /// The Table 5 grid of the seed harness: collected (it is small), printed
@@ -778,14 +929,25 @@ fn run_random_grid(options: &Options, cells: usize) {
         policies,
         backends: vec![BackendKind::Discretized],
     };
-    println!(
-        "random grid: {} scenarios ({} seeds x {} policies, {} jobs each), streaming to {}",
-        spec.scenario_count(),
-        seeds,
-        spec.policies.len(),
-        options.random_jobs,
-        options.random_out,
-    );
+    match options.shard {
+        Some((index, count)) => println!(
+            "random grid: {} scenarios ({} seeds x {} policies, {} jobs each), \
+             shard {index}/{count} streaming to {}",
+            spec.scenario_count(),
+            seeds,
+            spec.policies.len(),
+            options.random_jobs,
+            options.random_out,
+        ),
+        None => println!(
+            "random grid: {} scenarios ({} seeds x {} policies, {} jobs each), streaming to {}",
+            spec.scenario_count(),
+            seeds,
+            spec.policies.len(),
+            options.random_jobs,
+            options.random_out,
+        ),
+    }
 
     let file = match std::fs::File::create(&options.random_out) {
         Ok(file) => std::io::BufWriter::new(file),
@@ -795,7 +957,7 @@ fn run_random_grid(options: &Options, cells: usize) {
         }
     };
     let start = Instant::now();
-    match run_grid_streaming(&spec, options.threads, options.chunk, file) {
+    match run_grid_streaming_sharded(&spec, options.threads, options.chunk, options.shard, file) {
         Ok(summary) => {
             let wall = start.elapsed();
             #[allow(clippy::cast_precision_loss)]

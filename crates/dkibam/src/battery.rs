@@ -165,23 +165,26 @@ impl DiscreteBattery {
     /// While the height difference exceeds one unit, each elapsed
     /// `recov_times[m_delta]` time steps reduce it by one unit (the
     /// height-difference automaton of Figure 5(b)). Recovery continues even
-    /// for observed-empty batteries, exactly as in the paper's model.
-    pub fn advance_recovery(&mut self, mut steps: u64, table: &RecoveryTable) {
-        while steps > 0 {
-            let Some(needed) = table.steps(self.m_delta) else {
-                // No recovery possible at or below one height unit.
-                self.recovery_clock = 0;
-                return;
-            };
-            let remaining = needed.saturating_sub(self.recovery_clock);
-            if steps < remaining {
-                self.recovery_clock += steps;
-                return;
-            }
-            steps -= remaining;
-            self.m_delta -= 1;
-            self.recovery_clock = 0;
-        }
+    /// for observed-empty batteries, exactly as in the paper's model. The
+    /// whole advance is a single prefix-table lookup
+    /// ([`RecoveryTable::skip`]) rather than a walk over height units.
+    pub fn advance_recovery(&mut self, steps: u64, table: &RecoveryTable) {
+        let (m_delta, recovery_clock) = table.skip(self.m_delta, self.recovery_clock, steps);
+        self.m_delta = m_delta;
+        self.recovery_clock = recovery_clock;
+    }
+
+    /// Reassembles a battery from raw state components. The struct-of-arrays
+    /// [`batch`](crate::batch) lanes use this to unpack into the scalar form;
+    /// it is also handy for tests that need a battery mid-recovery.
+    #[must_use]
+    pub fn from_raw_parts(
+        n_gamma: u32,
+        m_delta: u32,
+        recovery_clock: u64,
+        observed_empty: bool,
+    ) -> Self {
+        Self { n_gamma, m_delta, recovery_clock, observed_empty }
     }
 
     /// Advances recovery by a single time step; returns `true` if a height

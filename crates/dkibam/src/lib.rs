@@ -31,7 +31,11 @@
 //!   [`kibam::FleetSpec`] plus one recovery table per battery type;
 //! * [`MultiBatteryState`](multi::MultiBatteryState) — the multi-battery
 //!   discrete state on which the schedulers of the `battery-sched` crate
-//!   (including the optimal one) operate.
+//!   (including the optimal one) operate;
+//! * [`DiscreteBatch`] — the same dynamics over N independent cells in
+//!   struct-of-arrays form, stepped by batch kernels that are bit-identical
+//!   to the scalar path (grid sweeps pack many scenario systems into one
+//!   batch).
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 mod battery;
 mod config;
 mod error;
@@ -66,6 +71,7 @@ mod recovery;
 mod service;
 pub mod sim;
 
+pub use batch::DiscreteBatch;
 pub use battery::DiscreteBattery;
 pub use config::Discretization;
 pub use error::DkibamError;

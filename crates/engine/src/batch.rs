@@ -1,0 +1,422 @@
+//! Lane-range views that run scenario systems on shared batch state.
+//!
+//! The chunked grid runner packs every scenario system of a claimed chunk
+//! into one struct-of-arrays batch per `(system configuration, backend)`
+//! group ([`dkibam::DiscreteBatch`] / [`rv::RvBatch`]), so the table-driven
+//! batch kernels step many cells through shared per-type tables instead of
+//! chasing one `Vec` of battery states per scenario. The simulation loop
+//! itself ([`battery_sched::system::simulate_policy_with`]) is reused
+//! verbatim: a [`BatchDiscreteView`] / [`BatchRvView`] adapts one contiguous
+//! lane range of the batch to the [`BatteryModel`] contract, with every
+//! observable quantity (charges, emptiness, state words, advances) computed
+//! by exactly the same expressions as the scalar backends — the batched
+//! grid results are bit-identical to the scalar path, which the
+//! `batch_equivalence` integration suite enforces.
+
+use battery_sched::model::{BatteryModel, ModelAdvance, StateKey, MAX_KEY_BATTERIES};
+use battery_sched::schedule::BatteryCharge;
+use battery_sched::SchedError;
+use dkibam::{DiscreteBatch, DiscreteBattery, DiscreteFleet};
+use kibam::BatteryParams;
+use rv::{RvBatch, RvCell, RvFleet};
+use std::ops::Range;
+
+/// One scenario system's lane range of a shared [`DiscreteBatch`], as a
+/// [`BatteryModel`]. The mirror of
+/// [`battery_sched::backends::DiscretizedKibam`]: every method evaluates the
+/// same expression over the same per-type static data, so states and
+/// outcomes are bit-identical to the scalar backend.
+#[derive(Debug)]
+pub(crate) struct BatchDiscreteView<'a> {
+    batch: &'a mut DiscreteBatch,
+    lanes: Range<usize>,
+    fleet: &'a DiscreteFleet,
+    /// Per-type parameters, indexed by type-group id (the layout the batch
+    /// kernels consume; hoisted once per chunk group).
+    type_params: &'a [BatteryParams],
+}
+
+impl<'a> BatchDiscreteView<'a> {
+    pub(crate) fn new(
+        batch: &'a mut DiscreteBatch,
+        lanes: Range<usize>,
+        fleet: &'a DiscreteFleet,
+        type_params: &'a [BatteryParams],
+    ) -> Self {
+        debug_assert_eq!(lanes.len(), fleet.len(), "one lane per fleet battery");
+        Self { batch, lanes, fleet, type_params }
+    }
+
+    fn lane(&self, index: usize) -> usize {
+        self.lanes.start + index
+    }
+}
+
+impl BatteryModel for BatchDiscreteView<'_> {
+    type State = Vec<DiscreteBattery>;
+
+    fn backend_name(&self) -> &'static str {
+        "discretized"
+    }
+
+    fn battery_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn type_of(&self, index: usize) -> usize {
+        self.fleet.type_of(index)
+    }
+
+    fn reset(&mut self) {
+        self.batch.reset_range(self.lanes.clone(), self.type_params, self.fleet.disc());
+    }
+
+    fn save_state(&self) -> Vec<DiscreteBattery> {
+        self.lanes.clone().map(|lane| self.batch.lane(lane)).collect()
+    }
+
+    fn save_state_into(&self, out: &mut Vec<DiscreteBattery>) {
+        out.clear();
+        out.extend(self.lanes.clone().map(|lane| self.batch.lane(lane)));
+    }
+
+    fn restore_state(&mut self, state: &Vec<DiscreteBattery>) {
+        for (index, battery) in state.iter().enumerate() {
+            self.batch.set_lane(self.lane(index), battery);
+        }
+    }
+
+    fn is_empty(&self, index: usize) -> bool {
+        self.batch.lane_is_empty(self.lane(index), self.type_params)
+    }
+
+    fn memo_key(&self) -> Option<StateKey> {
+        StateKey::from_typed_words(
+            (0..self.lanes.len())
+                .map(|i| (self.fleet.type_of(i), self.batch.state_word(self.lane(i)))),
+        )
+    }
+
+    fn key_dominates(&self, a: &StateKey, b: &StateKey) -> bool {
+        a.dominates_pairwise(b, DiscreteBattery::word_dominates)
+    }
+
+    fn charge(&self, index: usize) -> BatteryCharge {
+        let battery = self.batch.lane(self.lane(index));
+        BatteryCharge {
+            total: battery.total_charge(self.fleet.disc()),
+            available: battery.available_charge(self.fleet.params_of(index), self.fleet.disc()),
+        }
+    }
+
+    fn total_charge(&self) -> f64 {
+        // Bit-identical to `MultiBatteryState::total_charge`: one multiply
+        // over the integer unit sum, not a sum of per-battery products.
+        let units: u64 = self.lanes.clone().map(|l| u64::from(self.batch.charge_units(l))).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let units = units as f64;
+        units * self.fleet.disc().charge_unit()
+    }
+
+    fn usable_charge(&self) -> f64 {
+        self.lanes
+            .clone()
+            .filter(|&lane| !self.batch.is_retired(lane))
+            .map(|lane| f64::from(self.batch.charge_units(lane)) * self.fleet.disc().charge_unit())
+            .sum()
+    }
+
+    fn service_envelope_into(
+        &self,
+        index: usize,
+        max_units_per_draw: u32,
+        out: &mut dkibam::ServiceEnvelope,
+    ) -> Option<&dkibam::ServiceRateTable> {
+        let battery = self.batch.lane(self.lane(index));
+        let table = self.fleet.service_of(index);
+        // A retired battery serves nothing, ever: build from zero charge.
+        let charge = if battery.is_observed_empty() { 0 } else { battery.charge_units() };
+        table.build_envelope(charge, battery.height_units(), max_units_per_draw, out);
+        Some(table)
+    }
+
+    fn states_identical(&self, a: usize, b: usize) -> bool {
+        self.fleet.type_of(a) == self.fleet.type_of(b)
+            && self.batch.lane(self.lane(a)) == self.batch.lane(self.lane(b))
+    }
+
+    fn advance_idle(&mut self, steps: u64) {
+        self.batch.recover_range(self.lanes.clone(), steps, self.fleet.type_tables());
+    }
+
+    fn advance_job(
+        &mut self,
+        active: usize,
+        steps: u64,
+        draw_interval_steps: u32,
+        units_per_draw: u32,
+    ) -> Result<ModelAdvance, SchedError> {
+        if active >= self.lanes.len() {
+            return Err(SchedError::InvalidBatteryIndex { index: active, count: self.lanes.len() });
+        }
+        let advance = self.batch.advance_job_range(
+            self.lanes.clone(),
+            self.lane(active),
+            steps,
+            draw_interval_steps,
+            units_per_draw,
+            self.type_params,
+            self.fleet.type_tables(),
+        )?;
+        Ok(ModelAdvance { steps_consumed: advance.steps_consumed, completed: advance.completed })
+    }
+}
+
+/// One scenario system's lane range of a shared [`RvBatch`], as a
+/// [`BatteryModel`]. The mirror of
+/// [`battery_sched::backends::RvDiffusion`]; the batch kernels share the
+/// scalar path's raw serve/recover routines, so cell states are
+/// bit-identical to the scalar backend.
+#[derive(Debug)]
+pub(crate) struct BatchRvView<'a> {
+    batch: &'a mut RvBatch,
+    lanes: Range<usize>,
+    fleet: &'a RvFleet,
+}
+
+impl<'a> BatchRvView<'a> {
+    pub(crate) fn new(batch: &'a mut RvBatch, lanes: Range<usize>, fleet: &'a RvFleet) -> Self {
+        debug_assert_eq!(lanes.len(), fleet.len(), "one lane per fleet battery");
+        Self { batch, lanes, fleet }
+    }
+
+    fn lane(&self, index: usize) -> usize {
+        self.lanes.start + index
+    }
+}
+
+impl BatteryModel for BatchRvView<'_> {
+    type State = Vec<RvCell>;
+
+    fn backend_name(&self) -> &'static str {
+        "rv"
+    }
+
+    fn battery_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn type_of(&self, index: usize) -> usize {
+        self.fleet.type_of(index)
+    }
+
+    fn reset(&mut self) {
+        self.batch.reset_range(self.lanes.clone());
+    }
+
+    fn save_state(&self) -> Vec<RvCell> {
+        self.lanes.clone().map(|lane| self.batch.lane(lane)).collect()
+    }
+
+    fn save_state_into(&self, out: &mut Vec<RvCell>) {
+        out.clear();
+        out.extend(self.lanes.clone().map(|lane| self.batch.lane(lane)));
+    }
+
+    fn restore_state(&mut self, state: &Vec<RvCell>) {
+        for (index, cell) in state.iter().enumerate() {
+            self.batch.set_lane(self.lane(index), cell);
+        }
+    }
+
+    fn is_empty(&self, index: usize) -> bool {
+        self.batch.lane_is_empty(self.lane(index), self.fleet.type_tables())
+    }
+
+    fn memo_key(&self) -> Option<StateKey> {
+        let mut words = [(0usize, 0u128); MAX_KEY_BATTERIES];
+        if self.lanes.len() > words.len() {
+            return None;
+        }
+        for (index, slot) in words.iter_mut().enumerate().take(self.lanes.len()) {
+            let word = self.batch.state_word(self.lane(index), self.fleet.type_tables())?;
+            *slot = (self.fleet.type_of(index), word);
+        }
+        StateKey::from_typed_words(words.into_iter().take(self.lanes.len()))
+    }
+
+    fn key_dominates(&self, a: &StateKey, b: &StateKey) -> bool {
+        a.dominates_pairwise(b, RvCell::word_dominates)
+    }
+
+    fn charge(&self, index: usize) -> BatteryCharge {
+        let table = self.fleet.table_of(index);
+        let cell = self.batch.lane(self.lane(index));
+        BatteryCharge { total: table.total_charge(&cell), available: table.apparent_charge(&cell) }
+    }
+
+    fn usable_charge(&self) -> f64 {
+        self.lanes
+            .clone()
+            .enumerate()
+            .filter(|&(_, lane)| !self.batch.is_retired(lane))
+            .map(|(index, lane)| self.fleet.table_of(index).total_charge(&self.batch.lane(lane)))
+            .sum()
+    }
+
+    // `service_envelope_into` deliberately stays at the trait default
+    // (`None`), exactly like the scalar RV backend.
+
+    fn states_identical(&self, a: usize, b: usize) -> bool {
+        self.fleet.type_of(a) == self.fleet.type_of(b)
+            && self.batch.lane(self.lane(a)) == self.batch.lane(self.lane(b))
+    }
+
+    fn advance_idle(&mut self, steps: u64) {
+        self.batch.recover_range(self.lanes.clone(), steps, self.fleet.type_tables());
+    }
+
+    fn advance_job(
+        &mut self,
+        active: usize,
+        steps: u64,
+        draw_interval_steps: u32,
+        units_per_draw: u32,
+    ) -> Result<ModelAdvance, SchedError> {
+        if active >= self.lanes.len() {
+            return Err(SchedError::InvalidBatteryIndex { index: active, count: self.lanes.len() });
+        }
+        let advance = self.batch.advance_job_range(
+            self.lanes.clone(),
+            self.lane(active),
+            steps,
+            draw_interval_steps,
+            units_per_draw,
+            self.fleet.type_tables(),
+        );
+        Ok(ModelAdvance { steps_consumed: advance.steps_consumed, completed: advance.completed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use battery_sched::backends::{DiscretizedKibam, RvDiffusion};
+    use dkibam::Discretization;
+    use kibam::FleetSpec;
+
+    fn mixed_spec() -> FleetSpec {
+        FleetSpec::new(vec![BatteryParams::itsy_b1(), BatteryParams::itsy_b2()]).unwrap()
+    }
+
+    fn discrete_type_params(fleet: &DiscreteFleet) -> Vec<BatteryParams> {
+        (0..fleet.spec().type_count()).map(|t| *fleet.spec().type_params(t)).collect()
+    }
+
+    /// Drives a view and its scalar backend through the same epochs and
+    /// compares every observable the simulation loop reads.
+    #[test]
+    fn discrete_view_mirrors_the_scalar_backend() {
+        let disc = Discretization::paper_default();
+        let fleet = DiscreteFleet::new(mixed_spec(), disc);
+        let params = discrete_type_params(&fleet);
+        let mut batch = DiscreteBatch::new();
+        // A leading foreign system shifts the lane base off zero.
+        let _other = batch.push_fleet(&fleet);
+        let lanes = batch.push_fleet(&fleet);
+        let mut view = BatchDiscreteView::new(&mut batch, lanes, &fleet, &params);
+        let mut scalar = DiscretizedKibam::from_fleet(&mixed_spec(), &disc);
+
+        assert_eq!(view.backend_name(), scalar.backend_name());
+        assert_eq!(view.battery_count(), 2);
+        assert_eq!(view.type_of(1), scalar.type_of(1));
+        for (active, steps) in [(0usize, 700u64), (1, 300), (0, 2_000), (1, 50)] {
+            let a = view.advance_job(active, steps, 2, 1).unwrap();
+            let b = scalar.advance_job(active, steps, 2, 1).unwrap();
+            assert_eq!(a, b);
+            view.advance_idle(40);
+            scalar.advance_idle(40);
+            assert_eq!(view.memo_key(), scalar.memo_key());
+            assert_eq!(view.total_charge().to_bits(), scalar.total_charge().to_bits());
+            assert_eq!(view.usable_charge().to_bits(), scalar.usable_charge().to_bits());
+            assert_eq!(view.available(), scalar.available());
+            for index in 0..2 {
+                let (x, y) = (view.charge(index), scalar.charge(index));
+                assert_eq!(x.total.to_bits(), y.total.to_bits());
+                assert_eq!(x.available.to_bits(), y.available.to_bits());
+            }
+            assert_eq!(view.states_identical(0, 1), scalar.states_identical(0, 1));
+        }
+        // Save/restore round-trips through the lane range.
+        let snapshot = view.save_state();
+        view.reset();
+        assert_eq!(view.memo_key(), {
+            scalar.reset();
+            scalar.memo_key()
+        });
+        view.restore_state(&snapshot);
+        let mut scratch = Vec::new();
+        view.save_state_into(&mut scratch);
+        assert_eq!(scratch, snapshot);
+        assert!(view.advance_job(2, 10, 2, 1).is_err(), "indices are range-local");
+    }
+
+    #[test]
+    fn rv_view_mirrors_the_scalar_backend() {
+        let disc = Discretization::paper_default();
+        let fleet = RvFleet::new(mixed_spec(), disc);
+        let mut batch = RvBatch::new();
+        let _other = batch.push_fleet(&fleet);
+        let lanes = batch.push_fleet(&fleet);
+        let mut view = BatchRvView::new(&mut batch, lanes, &fleet);
+        let mut scalar = RvDiffusion::from_fleet(&mixed_spec(), &disc);
+
+        assert_eq!(view.backend_name(), scalar.backend_name());
+        for (active, steps) in [(0usize, 700u64), (1, 300), (0, 2_000), (1, 50)] {
+            let a = view.advance_job(active, steps, 2, 1).unwrap();
+            let b = scalar.advance_job(active, steps, 2, 1).unwrap();
+            assert_eq!(a, b);
+            view.advance_idle(40);
+            scalar.advance_idle(40);
+            assert_eq!(view.memo_key(), scalar.memo_key());
+            assert_eq!(view.total_charge().to_bits(), scalar.total_charge().to_bits());
+            assert_eq!(view.usable_charge().to_bits(), scalar.usable_charge().to_bits());
+            assert_eq!(view.available(), scalar.available());
+            for index in 0..2 {
+                let (x, y) = (view.charge(index), scalar.charge(index));
+                assert_eq!(x.total.to_bits(), y.total.to_bits());
+                assert_eq!(x.available.to_bits(), y.available.to_bits());
+            }
+            assert_eq!(view.states_identical(0, 1), scalar.states_identical(0, 1));
+        }
+        let snapshot = view.save_state();
+        view.reset();
+        scalar.reset();
+        assert_eq!(view.memo_key(), scalar.memo_key());
+        view.restore_state(&snapshot);
+        let mut scratch = Vec::new();
+        view.save_state_into(&mut scratch);
+        assert_eq!(scratch, snapshot);
+        assert!(view.advance_job(2, 10, 2, 1).is_err(), "indices are range-local");
+    }
+
+    #[test]
+    fn sibling_lane_ranges_stay_independent() {
+        let disc = Discretization::paper_default();
+        let fleet = DiscreteFleet::new(mixed_spec(), disc);
+        let params = discrete_type_params(&fleet);
+        let mut batch = DiscreteBatch::new();
+        let first = batch.push_fleet(&fleet);
+        let second = batch.push_fleet(&fleet);
+        let fresh_key = {
+            let view = BatchDiscreteView::new(&mut batch, second.clone(), &fleet, &params);
+            view.memo_key()
+        };
+        {
+            let mut view = BatchDiscreteView::new(&mut batch, first, &fleet, &params);
+            view.advance_job(0, 100_000, 2, 1).unwrap();
+        }
+        let view = BatchDiscreteView::new(&mut batch, second, &fleet, &params);
+        assert_eq!(view.memo_key(), fresh_key, "a sibling system's run must not leak");
+    }
+}

@@ -16,12 +16,14 @@
 //! same format [`results_to_json`] produces (modulo insignificant
 //! whitespace), so [`results_from_json`] parses both.
 
+use crate::batch::{BatchDiscreteView, BatchRvView};
 use crate::json::JsonValue;
 use crate::spec::{BackendKind, PolicyKind, Scenario, ScenarioSpec};
 use crate::EngineError;
 use battery_sched::optimal::OptimalScheduler;
 use battery_sched::policy::FixedSchedule;
 use battery_sched::system::{simulate_policy_with, SystemConfig, SystemOutcome};
+use kibam::BatteryParams;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
@@ -29,10 +31,20 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-/// Scenarios per work chunk. Large enough to amortize the claim and the
-/// per-chunk channel send, small enough to keep workers balanced and the
-/// streaming reorder window shallow.
+/// Scenarios per work chunk. Large enough to amortize the claim, the
+/// per-chunk channel send and the batch-kernel packing, small enough to keep
+/// workers balanced and the streaming reorder window shallow.
 const DEFAULT_CHUNK_SIZE: usize = 16;
+
+/// Scenarios per chunk when the caller asks for auto-sizing (`chunk_size`
+/// `Some(0)`, the scenarios CLI's `--chunk 0`). The heuristic targets about
+/// four chunks per worker so the atomic cursor can re-balance stragglers,
+/// clamped to `1..=DEFAULT_CHUNK_SIZE` — small grids shrink to one scenario
+/// per claim (maximum balance), huge grids stop at the default so the
+/// streaming reorder window and the per-chunk batch stay shallow.
+fn auto_chunk_size(grid: usize, workers: usize) -> usize {
+    grid.div_ceil(workers.max(1) * 4).clamp(1, DEFAULT_CHUNK_SIZE)
+}
 
 /// Search statistics of an optimal-schedule scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +182,21 @@ struct SystemKey {
     charge_unit: u64,
 }
 
+impl SystemKey {
+    fn of(scenario: &Scenario) -> Self {
+        Self {
+            batteries: scenario
+                .fleet
+                .batteries
+                .iter()
+                .map(|b| (b.capacity.to_bits(), b.c.to_bits(), b.k_prime.to_bits()))
+                .collect(),
+            time_step: scenario.disc.time_step.to_bits(),
+            charge_unit: scenario.disc.charge_unit.to_bits(),
+        }
+    }
+}
+
 /// A validated system configuration with ready-built backends. The
 /// discretized backend owns the recovery table, which is the expensive part
 /// (`O(N)` log evaluations); grids that sweep loads or policies against one
@@ -202,17 +229,7 @@ impl WorkerCache {
     }
 
     fn system(&mut self, scenario: &Scenario) -> Result<&mut CachedSystem, EngineError> {
-        let key = SystemKey {
-            batteries: scenario
-                .fleet
-                .batteries
-                .iter()
-                .map(|b| (b.capacity.to_bits(), b.c.to_bits(), b.k_prime.to_bits()))
-                .collect(),
-            time_step: scenario.disc.time_step.to_bits(),
-            charge_unit: scenario.disc.charge_unit.to_bits(),
-        };
-        match self.systems.entry(key) {
+        match self.systems.entry(SystemKey::of(scenario)) {
             Entry::Occupied(entry) => Ok(entry.into_mut()),
             Entry::Vacant(entry) => {
                 let fleet = scenario.fleet.to_fleet_spec()?;
@@ -252,29 +269,39 @@ pub fn run_scenario_with_cache(
     let profile = scenario.load.profile()?;
     let system = cache.system(scenario)?;
     let load = system.config.discretize(&profile)?;
+    execute_scalar(scenario, system, &load)
+}
 
+/// Runs one prepared scenario on the cached scalar backend instances (the
+/// non-batched path: optimal searches and the continuous/ideal backends, and
+/// the reference the batched path is held bit-identical to).
+fn execute_scalar(
+    scenario: &Scenario,
+    system: &mut CachedSystem,
+    load: &dkibam::DiscretizedLoad,
+) -> Result<ScenarioResult, EngineError> {
     let start = Instant::now();
     let (outcome, lifetime_minutes, search, seeded_by) = match scenario.policy {
         PolicyKind::Optimal { budget } => {
             let scheduler = OptimalScheduler::with_budget(budget);
             let optimal = match scenario.backend {
                 BackendKind::Discretized => {
-                    scheduler.find_optimal_with(&system.config, &load, &mut system.discretized)?
+                    scheduler.find_optimal_with(&system.config, load, &mut system.discretized)?
                 }
                 BackendKind::Continuous => {
-                    scheduler.find_optimal_with(&system.config, &load, &mut system.continuous)?
+                    scheduler.find_optimal_with(&system.config, load, &mut system.continuous)?
                 }
                 BackendKind::Rv => {
-                    scheduler.find_optimal_with(&system.config, &load, &mut system.rv)?
+                    scheduler.find_optimal_with(&system.config, load, &mut system.rv)?
                 }
                 BackendKind::Ideal => {
-                    scheduler.find_optimal_with(&system.config, &load, &mut system.ideal)?
+                    scheduler.find_optimal_with(&system.config, load, &mut system.ideal)?
                 }
             };
             // Replay the optimal decision sequence to recover the residual
             // charge and switch counts the deterministic cells report.
             let mut replay = FixedSchedule::new(optimal.decisions.clone());
-            let outcome = simulate_on_backend(system, scenario.backend, &load, &mut replay)?;
+            let outcome = simulate_on_backend(system, scenario.backend, load, &mut replay)?;
             let stats = SearchStats {
                 nodes_explored: optimal.nodes_explored as u64,
                 memo_hits: optimal.memo_hits as u64,
@@ -289,7 +316,7 @@ pub fn run_scenario_with_cache(
         _ => {
             let mut policy =
                 scenario.policy.build().expect("non-optimal policies always instantiate");
-            let outcome = simulate_on_backend(system, scenario.backend, &load, policy.as_mut())?;
+            let outcome = simulate_on_backend(system, scenario.backend, load, policy.as_mut())?;
             let minutes = outcome.lifetime_minutes();
             (outcome, minutes, None, None)
         }
@@ -331,6 +358,197 @@ fn simulate_on_backend(
     })
 }
 
+/// Whether a scenario can run on the batched struct-of-arrays kernels: the
+/// deterministic policies on the discretized and RV backends (the hot cells
+/// of large sweeps). Optimal searches drive their backend through
+/// snapshot/restore from inside the scheduler, and the continuous/ideal
+/// backends have no batch form, so those stay on the scalar path.
+fn is_batchable(scenario: &Scenario) -> bool {
+    !matches!(scenario.policy, PolicyKind::Optimal { .. })
+        && matches!(scenario.backend, BackendKind::Discretized | BackendKind::Rv)
+}
+
+/// One executed chunk: results in chunk order up to the first error, and
+/// that error with its chunk-local offset.
+struct ChunkOutput {
+    results: Vec<ScenarioResult>,
+    error: Option<(usize, EngineError)>,
+}
+
+/// Builds the deterministic-policy result row from a finished simulation
+/// (shared by the scalar and batched paths, so the rows are assembled
+/// identically).
+fn deterministic_result(
+    scenario: &Scenario,
+    outcome: Result<SystemOutcome, battery_sched::SchedError>,
+    start: Instant,
+) -> Result<ScenarioResult, EngineError> {
+    let outcome = outcome?;
+    let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        lifetime_minutes: outcome.lifetime_minutes(),
+        residual_charge: outcome.residual_charge(),
+        switches: outcome.schedule().switches() as u64,
+        decisions: outcome.schedule().assignments.len() as u64,
+        wall_micros,
+        search: None,
+        seeded_by: None,
+    })
+}
+
+/// Runs the batchable scenarios of one `(system, backend)` group: every
+/// member's fleet is packed as a lane range of one shared struct-of-arrays
+/// batch, and each member is simulated through a lane-range view — the batch
+/// kernels step all cells of a system through shared per-type tables. Writes
+/// each member's outcome at its chunk offset.
+fn run_batched_group(
+    scenarios: &[Scenario],
+    loads: &[(dkibam::DiscretizedLoad, bool)],
+    backend: BackendKind,
+    members: &[usize],
+    cache: &mut WorkerCache,
+    outcomes: &mut [Option<Result<ScenarioResult, EngineError>>],
+) {
+    let system = match cache.system(&scenarios[members[0]]) {
+        Ok(system) => &*system,
+        Err(error) => {
+            // Unreachable in practice: the prepare pass already built and
+            // cached this system. Keep the chunk sound anyway.
+            let mut members = members.iter();
+            if let Some(&first) = members.next() {
+                outcomes[first] = Some(Err(error));
+            }
+            for &offset in members {
+                outcomes[offset] = Some(Err(EngineError::InvalidSpec(
+                    "system vanished from the worker cache".into(),
+                )));
+            }
+            return;
+        }
+    };
+    match backend {
+        BackendKind::Discretized => {
+            let fleet = system.discretized.fleet();
+            let type_params: Vec<BatteryParams> =
+                (0..fleet.spec().type_count()).map(|t| *fleet.spec().type_params(t)).collect();
+            let mut batch = dkibam::DiscreteBatch::with_capacity(fleet.len() * members.len());
+            let lanes: Vec<_> = members.iter().map(|_| batch.push_fleet(fleet)).collect();
+            for (&offset, lanes) in members.iter().zip(lanes) {
+                let scenario = &scenarios[offset];
+                let start = Instant::now();
+                let mut policy =
+                    scenario.policy.build().expect("batched cells never run the optimal policy");
+                let mut view = BatchDiscreteView::new(&mut batch, lanes, fleet, &type_params);
+                let outcome = simulate_policy_with(
+                    &system.config,
+                    &loads[offset].0,
+                    policy.as_mut(),
+                    &mut view,
+                );
+                outcomes[offset] = Some(deterministic_result(scenario, outcome, start));
+            }
+        }
+        BackendKind::Rv => {
+            let fleet = system.rv.fleet();
+            let mut batch = rv::RvBatch::with_capacity(fleet.len() * members.len());
+            let lanes: Vec<_> = members.iter().map(|_| batch.push_fleet(fleet)).collect();
+            for (&offset, lanes) in members.iter().zip(lanes) {
+                let scenario = &scenarios[offset];
+                let start = Instant::now();
+                let mut policy =
+                    scenario.policy.build().expect("batched cells never run the optimal policy");
+                let mut view = BatchRvView::new(&mut batch, lanes, fleet);
+                let outcome = simulate_policy_with(
+                    &system.config,
+                    &loads[offset].0,
+                    policy.as_mut(),
+                    &mut view,
+                );
+                outcomes[offset] = Some(deterministic_result(scenario, outcome, start));
+            }
+        }
+        BackendKind::Continuous | BackendKind::Ideal => {
+            unreachable!("only discretized/rv scenarios are grouped for batching")
+        }
+    }
+}
+
+/// Runs one chunk of scenarios against the worker's cache: loads and system
+/// tables are prepared in chunk order first (stopping at the first setup
+/// error), then batchable scenarios are grouped by `(system, backend)` and
+/// stepped on shared struct-of-arrays batches while the rest run on the
+/// scalar path. Results come back in chunk order up to the first error, so
+/// the grid-order contract of the runner is preserved exactly.
+fn run_chunk(scenarios: &[Scenario], cache: &mut WorkerCache) -> ChunkOutput {
+    // Prepare pass, in chunk order: validate the system (building and
+    // caching its tables) and discretize the load.
+    let mut prepared: Vec<(dkibam::DiscretizedLoad, bool)> = Vec::with_capacity(scenarios.len());
+    let mut setup_error = None;
+    for (offset, scenario) in scenarios.iter().enumerate() {
+        let load = scenario.load.profile().and_then(|profile| {
+            let system = cache.system(scenario)?;
+            Ok(system.config.discretize(&profile)?)
+        });
+        match load {
+            Ok(load) => prepared.push((load, is_batchable(scenario))),
+            Err(error) => {
+                setup_error = Some((offset, error));
+                break;
+            }
+        }
+    }
+
+    // Execute pass. Scalar scenarios first (each borrows the cache mutably),
+    // then the batched groups.
+    let mut outcomes: Vec<Option<Result<ScenarioResult, EngineError>>> =
+        (0..prepared.len()).map(|_| None).collect();
+    for (offset, scenario) in scenarios.iter().take(prepared.len()).enumerate() {
+        if prepared[offset].1 {
+            continue;
+        }
+        let outcome = cache
+            .system(scenario)
+            .and_then(|system| execute_scalar(scenario, system, &prepared[offset].0));
+        outcomes[offset] = Some(outcome);
+    }
+    // Group by cached system and backend, in first-appearance order; chunks
+    // hold at most DEFAULT_CHUNK_SIZE scenarios, so a linear scan is cheaper
+    // than hashing.
+    let mut groups: Vec<(SystemKey, BackendKind, Vec<usize>)> = Vec::new();
+    for (offset, scenario) in scenarios.iter().take(prepared.len()).enumerate() {
+        if !prepared[offset].1 {
+            continue;
+        }
+        let key = SystemKey::of(scenario);
+        match groups.iter_mut().find(|(k, b, _)| *k == key && *b == scenario.backend) {
+            Some((_, _, members)) => members.push(offset),
+            None => groups.push((key, scenario.backend, vec![offset])),
+        }
+    }
+    for (_, backend, members) in groups {
+        run_batched_group(scenarios, &prepared, backend, &members, cache, &mut outcomes);
+    }
+
+    // Chunk-order prefix up to the first error (setup errors sit past every
+    // prepared scenario, so they come last in chunk order by construction).
+    let mut results = Vec::with_capacity(prepared.len());
+    let mut error = None;
+    for (offset, outcome) in outcomes.into_iter().enumerate() {
+        match outcome.expect("every prepared scenario is executed") {
+            Ok(result) => results.push(result),
+            Err(e) => {
+                error = Some((offset, e));
+                break;
+            }
+        }
+    }
+    if error.is_none() {
+        error = setup_error;
+    }
+    ChunkOutput { results, error }
+}
+
 /// One completed chunk of grid work, sent from a worker to the coordinator.
 struct ChunkMessage {
     chunk_index: usize,
@@ -364,21 +582,24 @@ fn run_chunked(
     chunk_size: usize,
     mut sink: impl FnMut(ScenarioResult) -> bool,
 ) -> ChunkedOutcome {
-    let chunk_size = chunk_size.max(1);
     let workers = threads.max(1).min(scenarios.len().max(1));
+    let chunk_size =
+        if chunk_size == 0 { auto_chunk_size(scenarios.len(), workers) } else { chunk_size };
     if workers <= 1 || scenarios.len() <= chunk_size {
-        // Inline execution: grid order is the execution order.
+        // Inline execution: grid order is the execution order. Chunks still
+        // apply so the inline path batches exactly like workers do.
         let mut cache = WorkerCache::new();
         let mut executed = 0;
-        for scenario in scenarios {
-            executed += 1;
-            match run_scenario_with_cache(scenario, &mut cache) {
-                Ok(result) => {
-                    if !sink(result) {
-                        return ChunkedOutcome { executed, error: None };
-                    }
+        for chunk in scenarios.chunks(chunk_size) {
+            let output = run_chunk(chunk, &mut cache);
+            executed += output.results.len() + usize::from(output.error.is_some());
+            for result in output.results {
+                if !sink(result) {
+                    return ChunkedOutcome { executed, error: None };
                 }
-                Err(error) => return ChunkedOutcome { executed, error: Some(error) },
+            }
+            if let Some((_, error)) = output.error {
+                return ChunkedOutcome { executed, error: Some(error) };
             }
         }
         return ChunkedOutcome { executed, error: None };
@@ -405,25 +626,17 @@ fn run_chunked(
                         break;
                     }
                     let end = (start + chunk_size).min(scenarios.len());
-                    let mut results = Vec::with_capacity(end - start);
-                    let mut error = None;
-                    for (offset, scenario) in scenarios[start..end].iter().enumerate() {
-                        match run_scenario_with_cache(scenario, &mut cache) {
-                            Ok(result) => results.push(result),
-                            Err(e) => {
-                                poison.store(true, Ordering::Release);
-                                error = Some((start + offset, e));
-                                break;
-                            }
-                        }
+                    let output = run_chunk(&scenarios[start..end], &mut cache);
+                    let failed = output.error.is_some();
+                    if failed {
+                        poison.store(true, Ordering::Release);
                     }
-                    let failed = error.is_some();
                     // A send only fails if the receiver is gone, which
                     // cannot happen while the coordinator loop below runs.
                     let _ = sender.send(ChunkMessage {
                         chunk_index: start / chunk_size,
-                        results,
-                        error,
+                        results: output.results,
+                        error: output.error.map(|(offset, e)| (start + offset, e)),
                     });
                     if failed {
                         break;
@@ -571,7 +784,9 @@ impl<W: Write> StreamingResultWriter<W> {
 /// Runs the grid in parallel and **streams** results to `out` in grid order
 /// as they complete, without materializing the full result set: memory use
 /// is bounded by the out-of-order window (roughly `threads` chunks), not by
-/// the grid size. `chunk_size` of `None` uses the default.
+/// the grid size. `chunk_size` of `None` uses the default; `Some(0)` asks
+/// for auto-sizing from the grid size and worker count (see
+/// `auto_chunk_size` in this module for the heuristic).
 ///
 /// # Errors
 ///
@@ -584,11 +799,48 @@ pub fn run_grid_streaming<W: Write>(
     chunk_size: Option<usize>,
     out: W,
 ) -> Result<StreamSummary, EngineError> {
+    run_grid_streaming_sharded(spec, threads, chunk_size, None, out)
+}
+
+/// Like [`run_grid_streaming`], restricted to one **shard** of the grid:
+/// `Some((index, count))` runs the contiguous expanded-grid index range
+/// `[index·len/count, (index+1)·len/count)`, so `count` processes — each
+/// handed its own shard index — partition a grid with no coordination, and
+/// the concatenation of their result rows (in shard order) is exactly the
+/// unsharded grid in grid order. Every shard document carries the *full*
+/// grid spec, which is what lets a merge step verify the shards belong
+/// together. `None` runs the whole grid.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidSpec`] for an out-of-range shard
+/// (`index >= count` or `count == 0`); otherwise as [`run_grid_streaming`].
+pub fn run_grid_streaming_sharded<W: Write>(
+    spec: &ScenarioSpec,
+    threads: usize,
+    chunk_size: Option<usize>,
+    shard: Option<(usize, usize)>,
+    out: W,
+) -> Result<StreamSummary, EngineError> {
     let scenarios = spec.expand();
+    let (start, end) = match shard {
+        Some((index, count)) => {
+            if count == 0 || index >= count {
+                return Err(EngineError::InvalidSpec(format!(
+                    "shard {index}/{count} is out of range"
+                )));
+            }
+            let len = scenarios.len() as u128;
+            let at = |i: usize| usize::try_from(len * i as u128 / count as u128).unwrap_or(0);
+            (at(index), at(index + 1))
+        }
+        None => (0, scenarios.len()),
+    };
+    let scenarios = &scenarios[start..end];
     let mut writer = StreamingResultWriter::new(out, spec)?;
     let mut io_error: Option<EngineError> = None;
     let outcome =
-        run_chunked(&scenarios, threads, chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE), |result| {
+        run_chunked(scenarios, threads, chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE), |result| {
             match writer.push(&result) {
                 Ok(()) => true,
                 Err(error) => {
@@ -853,6 +1105,55 @@ mod tests {
     }
 
     #[test]
+    fn shards_partition_the_grid_exactly() {
+        let spec = small_grid();
+        let unsharded = run_grid_with_threads(&spec, 2).unwrap();
+        // Three shards over eight scenarios: 2 + 3 + 3.
+        let mut rows = Vec::new();
+        for index in 0..3 {
+            let mut buffer = Vec::new();
+            let summary =
+                run_grid_streaming_sharded(&spec, 2, Some(2), Some((index, 3)), &mut buffer)
+                    .unwrap();
+            let text = String::from_utf8(buffer).unwrap();
+            let (spec_back, shard_rows) = results_from_json(&text).unwrap();
+            assert_eq!(spec_back, spec, "every shard carries the full grid spec");
+            assert_eq!(summary.written, shard_rows.len());
+            rows.extend(shard_rows);
+        }
+        assert_eq!(rows.len(), unsharded.len());
+        for (row, result) in rows.iter().zip(&unsharded) {
+            assert_eq!(row.get("load").unwrap().as_str().unwrap(), result.scenario.load.name());
+            assert_eq!(row.get("policy").unwrap().as_str().unwrap(), result.scenario.policy.name());
+            assert_eq!(
+                row.get("lifetime_minutes").unwrap().as_f64(),
+                result.lifetime_minutes,
+                "shard rows are bit-identical to the unsharded grid"
+            );
+        }
+        // Out-of-range shards are rejected up front.
+        let error =
+            run_grid_streaming_sharded(&spec, 1, None, Some((3, 3)), Vec::new()).unwrap_err();
+        assert!(error.to_string().contains("out of range"), "{error}");
+        let error =
+            run_grid_streaming_sharded(&spec, 1, None, Some((0, 0)), Vec::new()).unwrap_err();
+        assert!(error.to_string().contains("out of range"), "{error}");
+    }
+
+    #[test]
+    fn auto_chunk_size_balances_small_grids() {
+        assert_eq!(auto_chunk_size(8, 4), 1, "small grids go one scenario per claim");
+        assert_eq!(auto_chunk_size(0, 4), 1, "empty grids still get a positive chunk");
+        assert_eq!(auto_chunk_size(129, 4), 9, "mid grids target four chunks per worker");
+        assert_eq!(auto_chunk_size(1_000_000, 8), DEFAULT_CHUNK_SIZE, "huge grids cap at default");
+        // `Some(0)` through the public streaming API selects the heuristic.
+        let spec = small_grid();
+        let mut buffer = Vec::new();
+        let summary = run_grid_streaming(&spec, 4, Some(0), &mut buffer).unwrap();
+        assert_eq!(summary.written, 8);
+    }
+
+    #[test]
     fn poisoned_grid_stops_claiming_work() {
         // A huge grid whose very first cell fails: with the poison flag the
         // workers must stop long before the grid is exhausted.
@@ -888,10 +1189,15 @@ mod tests {
         spec.loads = (0..1000).map(|seed| LoadSpec::random_paper_levels(seed, 20)).collect();
         let scenarios = spec.expand();
 
-        // Inline path: execution stops at the first refused result.
+        // Inline path: execution stops within the chunk whose first result
+        // is refused (scenarios are executed one chunk at a time).
         let outcome = run_chunked(&scenarios, 1, 16, |_| false);
         assert!(outcome.error.is_none());
-        assert_eq!(outcome.executed, 1, "inline execution stops at the first refusal");
+        assert!(
+            outcome.executed <= 16,
+            "inline execution stops after the refusing chunk (executed {})",
+            outcome.executed
+        );
 
         // Parallel path: in-flight chunks may finish, but the grid never
         // runs to completion.

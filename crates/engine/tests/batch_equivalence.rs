@@ -1,0 +1,97 @@
+//! Batched-vs-scalar equivalence: the struct-of-arrays chunk kernels the
+//! grid runner packs scenarios into must be **bit-identical** to the scalar
+//! per-scenario path — same lifetimes (to the last mantissa bit), same
+//! residual charge, same switch and decision counts — across uniform and
+//! mixed fleets, every paper load, seeded random loads and both batchable
+//! backends (discretized KiBaM and RV diffusion). The kernel crates prove
+//! per-step state-word identity in their own lockstep suites; this suite
+//! proves the engine wiring (chunk grouping, lane packing, cache reuse)
+//! preserves it end to end.
+
+use engine::{
+    run_grid_with_threads, run_scenario, BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec,
+    PolicyKind, ScenarioResult, ScenarioSpec,
+};
+use workload::paper_loads::TestLoad;
+
+/// Both fleet shapes of the paper experiments: the uniform pair and the
+/// heterogeneous B1+B2 mix (two type groups sharing one batch).
+fn spec_with(loads: Vec<LoadSpec>, policies: Vec<PolicyKind>) -> ScenarioSpec {
+    ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        fleets: vec![FleetDef::mixed(vec![BatterySpec::b1(), BatterySpec::b2()])],
+        discretizations: vec![DiscSpec::paper()],
+        loads,
+        policies,
+        backends: vec![BackendKind::Discretized, BackendKind::Rv],
+    }
+}
+
+fn assert_identical(batched: &ScenarioResult, scalar: &ScenarioResult, context: &str) {
+    assert_eq!(batched.scenario, scalar.scenario, "{context}: scenario mismatch");
+    assert_eq!(
+        batched.lifetime_minutes.map(f64::to_bits),
+        scalar.lifetime_minutes.map(f64::to_bits),
+        "{context}: lifetime diverged ({:?} vs {:?})",
+        batched.lifetime_minutes,
+        scalar.lifetime_minutes
+    );
+    assert_eq!(
+        batched.residual_charge.to_bits(),
+        scalar.residual_charge.to_bits(),
+        "{context}: residual charge diverged ({} vs {})",
+        batched.residual_charge,
+        scalar.residual_charge
+    );
+    assert_eq!(batched.switches, scalar.switches, "{context}: switch count diverged");
+    assert_eq!(batched.decisions, scalar.decisions, "{context}: decision count diverged");
+    assert_eq!(batched.search, scalar.search, "{context}: search stats diverged");
+    assert_eq!(batched.seeded_by, scalar.seeded_by, "{context}: seed label diverged");
+}
+
+/// Runs the grid through the chunked (batched) runner and re-runs every cell
+/// through the scalar single-scenario entry point, asserting bit-identity.
+fn assert_grid_matches_scalar(spec: &ScenarioSpec) {
+    let batched = run_grid_with_threads(spec, 1).expect("batched grid runs");
+    assert_eq!(batched.len(), spec.expand().len());
+    for result in &batched {
+        let scalar = run_scenario(&result.scenario).expect("scalar scenario runs");
+        assert_identical(result, &scalar, &result.scenario.label());
+    }
+}
+
+#[test]
+fn all_paper_loads_match_scalar_bit_for_bit() {
+    let loads = TestLoad::all().into_iter().map(LoadSpec::Paper).collect();
+    let spec = spec_with(loads, vec![PolicyKind::RoundRobin, PolicyKind::BestOfTwo]);
+    assert_grid_matches_scalar(&spec);
+}
+
+#[test]
+fn remaining_deterministic_policies_match_scalar() {
+    let loads = vec![LoadSpec::Paper(TestLoad::Ils500), LoadSpec::Paper(TestLoad::IlsAlt)];
+    let spec = spec_with(loads, vec![PolicyKind::Sequential, PolicyKind::CapacityRr]);
+    assert_grid_matches_scalar(&spec);
+}
+
+#[test]
+fn seeded_random_loads_match_scalar() {
+    let loads = (0..8).map(|seed| LoadSpec::random_paper_levels(seed, 12)).collect();
+    let spec = spec_with(loads, vec![PolicyKind::RoundRobin]);
+    assert_grid_matches_scalar(&spec);
+}
+
+#[test]
+fn thread_count_does_not_change_batched_results() {
+    // Different worker counts claim different chunks, so the lane packing of
+    // every batch differs — the results must not.
+    let loads = TestLoad::all().into_iter().map(LoadSpec::Paper).collect();
+    let spec = spec_with(loads, vec![PolicyKind::RoundRobin, PolicyKind::BestOfTwo]);
+    let serial = run_grid_with_threads(&spec, 1).unwrap();
+    let parallel = run_grid_with_threads(&spec, 4).unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_identical(b, a, &a.scenario.label());
+    }
+}
