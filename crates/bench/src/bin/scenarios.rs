@@ -812,7 +812,7 @@ fn run_crossmodel_grid(options: &Options) {
                         .map(|lifetime| (p.name(), lifetime))
                 })
                 .collect();
-            cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            cells.sort_by(|a, b| b.1.total_cmp(&a.1));
             let order = cells
                 .iter()
                 .map(|(policy, lifetime)| format!("{policy} ({lifetime:.2})"))

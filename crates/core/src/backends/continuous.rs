@@ -51,6 +51,7 @@ impl ContinuousKibam {
     /// validated [`FleetSpec`] to handle the error explicitly.
     #[must_use]
     pub fn new(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
+        // xlint: allow(panic) -- documented `# Panics` convenience constructor
         let fleet = FleetSpec::uniform(*params, count).expect("battery count must be positive");
         Self::from_fleet(&fleet, disc)
     }
@@ -88,6 +89,7 @@ impl ContinuousKibam {
         for (index, cell) in self.cells.iter_mut().enumerate() {
             if Some(index) != active {
                 cell.state = evolve(self.fleet.battery(index), cell.state, 0.0, minutes)
+                    // xlint: allow(panic) -- zero current and nonnegative durations always validate
                     .expect("zero current and non-negative durations are always valid");
             }
         }
@@ -193,9 +195,7 @@ impl BatteryModel for ContinuousKibam {
         // this job portion, the portion completes and the emptiness is
         // caught at the next scheduling point.
         let observation = crossing.map(|t| {
-            let draws = (t / interval_minutes).ceil().max(1.0);
-            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-            let draws = draws as u64;
+            let draws = dkibam::checked::f64_to_u64((t / interval_minutes).ceil().max(1.0));
             draws.saturating_mul(u64::from(draw_interval_steps))
         });
 

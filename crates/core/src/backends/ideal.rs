@@ -66,6 +66,7 @@ impl IdealBattery {
     /// validated [`FleetSpec`] to handle the error explicitly.
     #[must_use]
     pub fn new(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
+        // xlint: allow(panic) -- documented `# Panics` convenience constructor
         let fleet = FleetSpec::uniform(*params, count).expect("battery count must be positive");
         Self::from_fleet(&fleet, disc)
     }

@@ -112,6 +112,7 @@ impl StateKey {
             words[slot] = word;
         }
         #[allow(clippy::cast_possible_truncation)]
+        // xlint: allow(cast) -- len <= MAX_KEY_BATTERIES, far below u8::MAX
         Some(Self { len: len as u8, types, words })
     }
 
@@ -175,6 +176,12 @@ impl StateKey {
         debug_assert!(
             self.same_layout(other),
             "key_dominates compared keys with different type-group layouts"
+        );
+        // Partial-order law: per-word dominance must be reflexive, or the
+        // Pareto fronts would prune a state against itself.
+        debug_assert!(
+            self.words().iter().all(|&x| word_dominates(x, x)),
+            "word dominance must be reflexive"
         );
         self.same_layout(other)
             && self.words().iter().zip(other.words()).all(|(&x, &y)| word_dominates(x, y))

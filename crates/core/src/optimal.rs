@@ -74,7 +74,7 @@ use crate::policy::{
 use crate::system::{simulate_policy_with, SystemConfig};
 use crate::SchedError;
 use dkibam::{DiscreteEpoch, DiscretizedLoad, EnvelopeCursor, ServiceEnvelope, ServiceRateTable};
-use std::collections::HashMap;
+use std::collections::HashMap; // xlint: allow(hash) -- see `FxMap` below
 use std::hash::{BuildHasherDefault, Hasher};
 use workload::LoadProfile;
 
@@ -126,18 +126,27 @@ impl Hasher for FxHasher {
     #[inline]
     fn write_u128(&mut self, value: u128) {
         #[allow(clippy::cast_possible_truncation)]
+        // xlint: allow(cast) -- hashing deliberately folds the two u64 halves
         self.mix(value as u64);
         #[allow(clippy::cast_possible_truncation)]
+        // xlint: allow(cast) -- hashing deliberately folds the two u64 halves
         self.mix((value >> 64) as u64);
     }
 
     #[inline]
     fn write_usize(&mut self, value: usize) {
+        // xlint: allow(cast) -- usize -> u64 is lossless on supported targets
         self.mix(value as u64);
     }
 }
 
 type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// The search's hash map: Fx-hashed for speed. Hash iteration order is
+/// never observed — `seen` and `fronts` are probed by key only, so the
+/// determinism argument does not rest on this container.
+// xlint: allow(hash) -- keyed lookups only; iteration order is never observed
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
 
 /// Default node budget of the search (decision nodes, not states).
 pub const DEFAULT_BUDGET: usize = 20_000_000;
@@ -452,11 +461,11 @@ struct Search<'a, M: BatteryModel> {
     /// Transposition table: the lifetime accumulated when a canonical state
     /// was first expanded at a load position. Exact-equality revisits are
     /// pruned in O(1).
-    seen: HashMap<(StateKey, usize, u64), u64, FxBuild>,
+    seen: FxMap<(StateKey, usize, u64), u64>,
     /// Per-position Pareto fronts of expanded states (bounded per position
     /// and globally): a new state component-wise dominated by a recorded one
     /// is pruned.
-    fronts: HashMap<(usize, u64), Vec<(StateKey, u64)>, FxBuild>,
+    fronts: FxMap<(usize, u64), Vec<(StateKey, u64)>>,
     /// Total entries across all fronts, enforcing [`MAX_FRONT_ENTRIES`].
     front_entries: usize,
 }
@@ -501,8 +510,8 @@ impl<'a, M: BatteryModel> Search<'a, M> {
             envelopes: Vec::new(),
             cursors: Vec::new(),
             cursors_mark: Vec::new(),
-            seen: HashMap::default(),
-            fronts: HashMap::default(),
+            seen: FxMap::default(),
+            fronts: FxMap::default(),
             front_entries: 0,
         }
     }
@@ -697,13 +706,8 @@ impl<M: BatteryModel> Search<'_, M> {
         }
         {
             let model: &M = self.model;
-            self.candidates[cand_start..].sort_by(|&a, &b| {
-                model
-                    .charge(b)
-                    .total
-                    .partial_cmp(&model.charge(a).total)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            self.candidates[cand_start..]
+                .sort_by(|&a, &b| model.charge(b).total.total_cmp(&model.charge(a).total));
         }
 
         let depth = self.stack.len();
@@ -741,9 +745,9 @@ impl<M: BatteryModel> Search<'_, M> {
     /// the point at which the load has requested more charge units than all
     /// usable batteries jointly hold.
     fn charge_bound(&self, epoch_index: usize, offset: u64) -> u64 {
-        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-        let mut units_left =
-            ((self.model.usable_charge() + 1e-9) / self.charge_unit).floor().max(0.0) as u64;
+        let mut units_left = dkibam::checked::f64_to_u64(
+            ((self.model.usable_charge() + 1e-9) / self.charge_unit).floor().max(0.0),
+        );
         let mut steps: u64 = 0;
         let mut offset = offset;
         for epoch in &self.epochs[epoch_index..] {
@@ -812,13 +816,24 @@ impl<M: BatteryModel> Search<'_, M> {
         let fleet_units = |cursors: &mut [EnvelopeCursor], window: u64, demand: u64| -> u64 {
             let mut total: u64 = 0;
             for battery in 0..battery_count {
+                // xlint: allow(panic) -- every index was populated in the loop above
                 let table = tables[battery].expect("all envelope tables were filled above");
+                #[cfg(debug_assertions)]
+                let cursor_before = cursors[battery];
                 total = total.saturating_add(table.units_within(
                     &envelopes[battery],
                     &mut cursors[battery],
                     window,
                     demand,
                 ));
+                // Cursor monotonicity: the availability walk queries windows
+                // and demands in non-decreasing order, so a cursor only
+                // advances; the only rewind is the explicit `marks` restore.
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    cursor_before <= cursors[battery],
+                    "envelope cursor moved backwards inside the walk"
+                );
             }
             total
         };

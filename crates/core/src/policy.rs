@@ -127,8 +127,7 @@ impl SchedulingPolicy for BestAvailable {
             let charge_a = ctx.charges[a].available;
             let charge_b = ctx.charges[b].available;
             charge_a
-                .partial_cmp(&charge_b)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&charge_b)
                 // Ties go to the lower index, as a deterministic choice.
                 .then(b.cmp(&a))
         })
@@ -177,7 +176,7 @@ impl SchedulingPolicy for CapacityWeightedRoundRobin {
         let chosen = ctx.available.iter().copied().min_by(|&a, &b| {
             let lhs = (self.assigned[a] + 1) as f64 * self.capacities[b];
             let rhs = (self.assigned[b] + 1) as f64 * self.capacities[a];
-            lhs.partial_cmp(&rhs).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            lhs.total_cmp(&rhs).then(a.cmp(&b))
         })?;
         self.assigned[chosen] += 1;
         Some(chosen)

@@ -43,12 +43,14 @@ pub fn validation_row(
 ) -> Result<ValidationRow, SchedError> {
     let profile = load.profile();
     let analytic = lifetime_for_segments(params, profile.segments())
+        // xlint: allow(panic) -- the paper loads always empty a single battery
         .expect("paper loads empty a single battery")
         .lifetime;
     let horizon = 2.0 * params.capacity();
     let discretized = DiscretizedLoad::from_profile(&profile, disc, horizon)?;
     let discrete = simulate_lifetime(params, disc, &discretized)?
         .lifetime_minutes
+        // xlint: allow(panic) -- the paper loads always empty a single battery
         .expect("paper loads empty a single battery");
     let paper = if (params.capacity() - kibam::BatteryParams::itsy_b2().capacity()).abs() < 1e-9 {
         load.paper_lifetime_b2()
@@ -109,6 +111,7 @@ pub fn table5_row(
     let lifetime = |policy: &mut dyn crate::policy::SchedulingPolicy| -> Result<f64, SchedError> {
         Ok(crate::system::simulate_policy_on(config, &discretized, policy)?
             .lifetime_minutes()
+            // xlint: allow(panic) -- the paper loads always exhaust the batteries
             .expect("paper loads exhaust the batteries"))
     };
     let sequential_minutes = lifetime(&mut Sequential::new())?;

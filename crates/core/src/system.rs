@@ -62,6 +62,7 @@ impl SystemConfig {
     #[must_use]
     pub fn paper_two_b1() -> Self {
         Self::new(BatteryParams::itsy_b1(), Discretization::paper_default(), 2)
+            // xlint: allow(panic) -- two batteries are always a valid fleet
             .expect("two batteries are a valid fleet")
     }
 

@@ -131,19 +131,23 @@ pub fn build_ta_kibam_fleet(
 ) -> Result<TaKibamModel, SchedError> {
     let battery_count = fleet.len();
     let mut network = Network::new();
-    let c_ints: Vec<i64> =
-        fleet.params().iter().map(|p| (p.c() * C_SCALE).round() as i64).collect();
+    let c_ints: Vec<i64> = fleet
+        .params()
+        .iter()
+        .map(|p| dkibam::checked::f64_to_i64((p.c() * C_SCALE).round()))
+        .collect();
     let capacity_units: Vec<i64> =
         fleet.params().iter().map(|p| i64::from(disc.charge_units(p.capacity()))).collect();
 
     // ---- constant tables -------------------------------------------------
     let epochs = load.epochs();
     let epoch_count = epochs.len();
-    let total_steps: i64 = load.total_steps() as i64;
+    let total_steps: i64 = dkibam::checked::u64_to_i64(load.total_steps());
     // A value larger than any time the model can reach, used as "never".
     let never = total_steps + capacity_units.iter().sum::<i64>() + 16;
 
-    let mut load_time_values: Vec<i64> = load.load_time().iter().map(|&t| t as i64).collect();
+    let mut load_time_values: Vec<i64> =
+        load.load_time().iter().map(|&t| dkibam::checked::u64_to_i64(t)).collect();
     let mut cur_times_values: Vec<i64> =
         epochs.iter().map(|e| i64::from(e.draw_interval_steps().max(1))).collect();
     let mut cur_values: Vec<i64> = epochs.iter().map(|e| i64::from(e.units_per_draw())).collect();
@@ -166,7 +170,7 @@ pub fn build_ta_kibam_fleet(
                 disc.charge_units(params.capacity()) + max_units_per_draw,
             );
             let recov_values: Vec<i64> = (0..=recovery.max_units())
-                .map(|m| recovery.steps(m).map(|s| s as i64).unwrap_or(never))
+                .map(|m| recovery.steps(m).map(dkibam::checked::u64_to_i64).unwrap_or(never))
                 .collect();
             network.add_const_array(format!("recov_time_{t}"), recov_values)
         })
@@ -336,7 +340,11 @@ pub fn build_ta_kibam_fleet(
                 .with_guard(epoch_over.and(idle_epoch.clone()))
                 .with_update(j, IntExpr::var(j).add(IntExpr::constant(1))),
         )?;
-        let more_epochs = BoolExpr::cmp(j, CmpOp::Lt, IntExpr::constant(epoch_count as i64));
+        let more_epochs = BoolExpr::cmp(
+            j,
+            CmpOp::Lt,
+            IntExpr::constant(dkibam::checked::usize_to_i64(epoch_count)),
+        );
         automaton.add_edge(
             Edge::new(dispatch, load_on)
                 .with_guard(more_epochs.clone().and(job_epoch))
@@ -346,7 +354,7 @@ pub fn build_ta_kibam_fleet(
         automaton.add_edge(Edge::new(dispatch, finished).with_guard(BoolExpr::cmp(
             j,
             CmpOp::Ge,
-            IntExpr::constant(epoch_count as i64),
+            IntExpr::constant(dkibam::checked::usize_to_i64(epoch_count)),
         )))?;
         automaton.add_edge(Edge::new(load_on, off).with_receive(all_empty))?;
         automaton.add_edge(Edge::new(dispatch, off).with_receive(all_empty))?;
@@ -386,7 +394,7 @@ pub fn build_ta_kibam_fleet(
                 .with_guard(BoolExpr::cmp(
                     empty_count,
                     CmpOp::Lt,
-                    IntExpr::constant(battery_count as i64 - 1),
+                    IntExpr::constant(dkibam::checked::usize_to_i64(battery_count) - 1),
                 ))
                 .with_update(empty_count, IntExpr::var(empty_count).add(IntExpr::constant(1))),
         )?;
@@ -400,7 +408,7 @@ pub fn build_ta_kibam_fleet(
                 .with_guard(BoolExpr::cmp(
                     empty_count,
                     CmpOp::Ge,
-                    IntExpr::constant(battery_count as i64 - 1),
+                    IntExpr::constant(dkibam::checked::usize_to_i64(battery_count) - 1),
                 ))
                 .with_update(charge_left, sum_gamma),
         )?;

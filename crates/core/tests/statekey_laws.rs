@@ -1,0 +1,199 @@
+//! Property tests for the [`StateKey`] canonicalization and the pairwise
+//! dominance relation the search's Pareto fronts prune with.
+//!
+//! Randomness is a seeded SplitMix64 stream, so every run checks the same
+//! cases: the laws below are what make dominance pruning sound, and a
+//! regression here would silently prune optimal schedules.
+
+use battery_sched::model::StateKey;
+use dkibam::DiscreteBattery;
+
+/// SplitMix64 — deterministic seeded values without external crates.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Plain components of a battery word, for building dominance chains.
+#[derive(Clone, Copy)]
+struct Parts {
+    n: u32,
+    m: u32,
+    clock: u64,
+    empty: bool,
+}
+
+/// Packs components exactly as [`DiscreteBattery::state_word`] does.
+fn pack(parts: Parts) -> u128 {
+    DiscreteBattery::from_raw_parts(parts.n, parts.m, parts.clock, parts.empty).state_word()
+}
+
+/// A random but physically plausible battery state.
+fn random_parts(rng: &mut SplitMix64) -> Parts {
+    Parts {
+        n: rng.below(2_000) as u32,
+        m: rng.below(300) as u32,
+        clock: rng.below(10_000),
+        empty: rng.below(8) == 0,
+    }
+}
+
+fn random_word(rng: &mut SplitMix64) -> u128 {
+    pack(random_parts(rng))
+}
+
+/// Degrades a state into one it dominates: less charge, a worse recovery
+/// position, possibly retired. Mirrors what future load actually does to a
+/// battery, so chains built this way satisfy the dominance premise.
+fn degrade(parts: Parts, rng: &mut SplitMix64) -> Parts {
+    let m_bump = rng.below(4) as u32;
+    Parts {
+        n: parts.n.saturating_sub(rng.below(50) as u32),
+        m: parts.m + m_bump,
+        clock: if m_bump == 0 {
+            parts.clock.saturating_sub(rng.below(100))
+        } else {
+            rng.below(10_000)
+        },
+        empty: parts.empty || rng.below(6) == 0,
+    }
+}
+
+/// A same-layout mixed fleet: two type-0 batteries and two type-1.
+const MIXED_TYPES: [usize; 4] = [0, 0, 1, 1];
+
+fn key_of(words: &[u128]) -> StateKey {
+    StateKey::from_typed_words(MIXED_TYPES.iter().copied().zip(words.iter().copied()))
+        .expect("four batteries fit a key")
+}
+
+#[test]
+fn word_dominance_is_reflexive() {
+    let mut rng = SplitMix64(0xD5_0001);
+    for _ in 0..500 {
+        let w = random_word(&mut rng);
+        assert!(DiscreteBattery::word_dominates(w, w), "word {w:#x} must dominate itself");
+    }
+}
+
+#[test]
+fn pairwise_dominance_is_reflexive_on_mixed_fleets() {
+    let mut rng = SplitMix64(0xD5_0002);
+    for _ in 0..200 {
+        let words: Vec<u128> = (0..4).map(|_| random_word(&mut rng)).collect();
+        let key = key_of(&words);
+        assert!(
+            key.dominates_pairwise(&key, DiscreteBattery::word_dominates),
+            "key built from {words:x?} must dominate itself"
+        );
+    }
+}
+
+#[test]
+fn pairwise_dominance_is_transitive_on_mixed_fleets() {
+    let mut rng = SplitMix64(0xD5_0003);
+    let dom = |a: &StateKey, b: &StateKey| a.dominates_pairwise(b, DiscreteBattery::word_dominates);
+    let mut exercised = 0;
+    for _ in 0..400 {
+        let fresh: Vec<Parts> = (0..4).map(|_| random_parts(&mut rng)).collect();
+        let worse: Vec<Parts> = fresh.iter().map(|&p| degrade(p, &mut rng)).collect();
+        let worst: Vec<Parts> = worse.iter().map(|&p| degrade(p, &mut rng)).collect();
+        let fresh: Vec<u128> = fresh.into_iter().map(pack).collect();
+        let worse: Vec<u128> = worse.into_iter().map(pack).collect();
+        let worst: Vec<u128> = worst.into_iter().map(pack).collect();
+        let (a, b, c) = (key_of(&fresh), key_of(&worse), key_of(&worst));
+        if dom(&a, &b) && dom(&b, &c) {
+            exercised += 1;
+            assert!(
+                dom(&a, &c),
+                "transitivity broken: {fresh:x?} dominates {worse:x?} dominates {worst:x?}"
+            );
+        }
+    }
+    // The degradation chains are built to satisfy the premise most of the
+    // time; if almost none do, the test is vacuous and must be fixed.
+    assert!(exercised >= 100, "only {exercised}/400 triples exercised the premise");
+}
+
+#[test]
+fn canonicalization_is_idempotent() {
+    let mut rng = SplitMix64(0xD5_0004);
+    for _ in 0..200 {
+        let words: Vec<u128> = (0..4).map(|_| random_word(&mut rng)).collect();
+        let key = key_of(&words);
+        let again = StateKey::from_typed_words(
+            key.types().iter().map(|&t| usize::from(t)).zip(key.words().iter().copied()),
+        )
+        .expect("canonical pairs fit a key");
+        assert_eq!(key, again, "re-canonicalizing {words:x?} changed the key");
+    }
+}
+
+#[test]
+fn canonicalization_is_permutation_invariant() {
+    let mut rng = SplitMix64(0xD5_0005);
+    for _ in 0..100 {
+        let mut pairs: Vec<(usize, u128)> =
+            MIXED_TYPES.iter().copied().zip((0..4).map(|_| random_word(&mut rng))).collect();
+        let reference =
+            StateKey::from_typed_words(pairs.iter().copied()).expect("four batteries fit a key");
+        // Heap's algorithm over the four pairs: every one of the 24 input
+        // orders must canonicalize to the identical key.
+        let mut stack = [0usize; 4];
+        let mut i = 1;
+        while i < 4 {
+            if stack[i] < i {
+                if i % 2 == 0 {
+                    pairs.swap(0, i);
+                } else {
+                    pairs.swap(stack[i], i);
+                }
+                let permuted = StateKey::from_typed_words(pairs.iter().copied())
+                    .expect("four batteries fit a key");
+                assert_eq!(reference, permuted, "permuting {pairs:x?} changed the key");
+                stack[i] += 1;
+                i = 1;
+            } else {
+                stack[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn type_groups_never_exchange_words() {
+    // A drained B1 next to a fresh B2 must not collide with a fresh B1 next
+    // to a drained B2: words sort within their type group only.
+    let drained = pack(Parts { n: 10, m: 50, clock: 0, empty: false });
+    let fresh = pack(Parts { n: 1_000, m: 1, clock: 0, empty: false });
+    let a = StateKey::from_typed_words([(0, drained), (1, fresh)]).unwrap();
+    let b = StateKey::from_typed_words([(0, fresh), (1, drained)]).unwrap();
+    assert_ne!(a, b);
+    assert_eq!(a.types(), &[0, 1]);
+    assert_eq!(a.words(), &[drained, fresh]);
+    assert_eq!(b.words(), &[fresh, drained]);
+
+    // A uniform fleet (all type 0) reduces to a global sort.
+    let uniform = StateKey::from_words([fresh, drained]).unwrap();
+    assert_eq!(uniform.words(), &[drained, fresh]);
+}
+
+#[test]
+fn oversized_or_overtyped_fleets_opt_out() {
+    let words = |count: usize| (0..count as u128).map(|w| (0usize, w));
+    assert!(StateKey::from_typed_words(words(4)).is_some());
+    assert!(StateKey::from_typed_words(words(5)).is_none());
+    assert!(StateKey::from_typed_words([(usize::from(u8::MAX) + 1, 0u128)]).is_none());
+}

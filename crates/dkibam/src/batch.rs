@@ -94,6 +94,7 @@ impl DiscreteBatch {
         self.n_gamma.push(battery.charge_units());
         self.m_delta.push(battery.height_units());
         self.recovery_clock.push(battery.recovery_clock());
+        // xlint: allow(panic) -- fleets are bounded far below u32::MAX type groups
         self.type_ids.push(u32::try_from(type_id).expect("type count fits u32"));
         if self.retired.len() * 64 < self.len() {
             self.retired.push(0);
@@ -141,7 +142,7 @@ impl DiscreteBatch {
     /// The battery type-group id of lane `lane`.
     #[must_use]
     pub fn type_id(&self, lane: usize) -> usize {
-        self.type_ids[lane] as usize
+        crate::checked::index(self.type_ids[lane])
     }
 
     /// Remaining total charge of lane `lane`, in charge units.
@@ -206,7 +207,7 @@ impl DiscreteBatch {
             return;
         }
         for lane in lanes {
-            let table = &tables[self.type_ids[lane] as usize];
+            let table = &tables[crate::checked::index(self.type_ids[lane])];
             let (m, clock) = table.skip(self.m_delta[lane], self.recovery_clock[lane], steps);
             self.m_delta[lane] = m;
             self.recovery_clock[lane] = clock;
@@ -251,7 +252,7 @@ impl DiscreteBatch {
             return Ok(JobAdvance { steps_consumed: steps, completed: true });
         }
         let c = type_params[self.type_id(active)].c();
-        let table = &tables[self.type_ids[active] as usize];
+        let table = &tables[crate::checked::index(self.type_ids[active])];
         if self.is_retired(active) || self.eq8_empty(active, c) {
             self.set_retired(active);
             return Ok(JobAdvance { steps_consumed: 0, completed: false });
@@ -270,10 +271,19 @@ impl DiscreteBatch {
             consumed += interval;
             // As in the scalar path, the emptiness condition is checked at
             // the draw instant both before and after the draw.
+            #[cfg(debug_assertions)]
+            let n_before = self.n_gamma[active];
             if !self.eq8_empty(active, c) {
                 self.n_gamma[active] = self.n_gamma[active].saturating_sub(units_per_draw);
                 self.m_delta[active] = self.m_delta[active].saturating_add(units_per_draw);
             }
+            // Charge conservation, mirroring the scalar kernel: a draw
+            // instant removes at most `units_per_draw`, only from `active`.
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                n_before - self.n_gamma[active] <= units_per_draw,
+                "batched draw instant removed more than the configured draw"
+            );
             if self.eq8_empty(active, c) {
                 self.set_retired(active);
                 completed = false;

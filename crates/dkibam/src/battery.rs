@@ -103,8 +103,14 @@ impl DiscreteBattery {
     /// and the height difference rises by the same number of units
     /// (saturating at zero remaining charge).
     pub fn draw(&mut self, units: u32) {
+        let n_before = self.n_gamma;
+        let drained = self.n_gamma.min(units);
         self.n_gamma = self.n_gamma.saturating_sub(units);
         self.m_delta = self.m_delta.saturating_add(units);
+        // Charge conservation: the total charge drops by exactly the
+        // drained units (saturating at empty) — a draw never creates
+        // charge and never loses more than it drew.
+        debug_assert!(self.n_gamma == n_before - drained, "draw broke charge conservation");
     }
 
     /// Packs the dynamic state into a single 128-bit word: total charge,
@@ -170,6 +176,10 @@ impl DiscreteBattery {
     /// ([`RecoveryTable::skip`]) rather than a walk over height units.
     pub fn advance_recovery(&mut self, steps: u64, table: &RecoveryTable) {
         let (m_delta, recovery_clock) = table.skip(self.m_delta, self.recovery_clock, steps);
+        // Recovery physics: the height difference is monotone non-increasing
+        // under recovery (never below one unit once started), and the total
+        // charge n_gamma is untouched — recovery only redistributes charge.
+        debug_assert!(m_delta <= self.m_delta.max(1), "recovery raised the height difference");
         self.m_delta = m_delta;
         self.recovery_clock = recovery_clock;
     }
@@ -200,10 +210,13 @@ impl DiscreteBattery {
 /// `(n_gamma, m_delta, recovery_clock, observed_empty)`.
 fn unpack(word: u128) -> (u32, u32, u64, bool) {
     #[allow(clippy::cast_possible_truncation)]
+    // xlint: allow(cast) -- masked field extraction from the packed state word
     let n_gamma = (word >> 96) as u32;
     #[allow(clippy::cast_possible_truncation)]
+    // xlint: allow(cast) -- masked field extraction from the packed state word
     let m_delta = (word >> 64) as u32;
     #[allow(clippy::cast_possible_truncation)]
+    // xlint: allow(cast) -- masked field extraction from the packed state word
     let clock = ((word >> 1) as u64) & ((1u64 << 63) - 1);
     (n_gamma, m_delta, clock, word & 1 == 1)
 }

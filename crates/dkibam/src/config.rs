@@ -1,3 +1,4 @@
+use crate::checked;
 use crate::DkibamError;
 use kibam::BatteryParams;
 
@@ -76,7 +77,7 @@ impl Discretization {
     /// Number of charge units `N = round(C / Γ)` for a capacity `C` (A·min).
     #[must_use]
     pub fn charge_units(&self, capacity: f64) -> u32 {
-        (capacity / self.charge_unit).round() as u32
+        checked::f64_to_u32((capacity / self.charge_unit).round())
     }
 
     /// Size of one height-difference unit, `Γ / c`, for the given battery.
@@ -94,7 +95,7 @@ impl Discretization {
     /// Converts a duration in minutes into the nearest number of time steps.
     #[must_use]
     pub fn minutes_to_steps(&self, minutes: f64) -> u64 {
-        (minutes / self.time_step).round().max(0.0) as u64
+        checked::f64_to_u64((minutes / self.time_step).round().max(0.0))
     }
 }
 

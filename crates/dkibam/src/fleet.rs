@@ -48,6 +48,7 @@ impl DiscreteFleet {
     /// [`DiscreteFleet::new`] to handle the error explicitly.
     #[must_use]
     pub fn uniform(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
+        // xlint: allow(panic) -- documented `# Panics` convenience constructor
         let spec = FleetSpec::uniform(*params, count).expect("battery count must be positive");
         Self::new(spec, *disc)
     }

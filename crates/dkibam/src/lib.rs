@@ -62,6 +62,7 @@
 
 pub mod batch;
 mod battery;
+pub mod checked;
 mod config;
 mod error;
 mod fleet;

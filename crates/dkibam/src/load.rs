@@ -200,7 +200,7 @@ fn represent_current(current: f64, disc: &Discretization) -> Result<(u32, u32), 
         let units = ratio * f64::from(interval);
         let rounded = units.round();
         if rounded >= 1.0 && (units - rounded).abs() < 1e-9 {
-            return Ok((rounded as u32, interval));
+            return Ok((crate::checked::f64_to_u32(rounded), interval));
         }
     }
     Err(DkibamError::UnrepresentableCurrent { current })

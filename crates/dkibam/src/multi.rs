@@ -146,9 +146,19 @@ impl MultiBatteryState {
     /// Lets every battery recover for `steps` time steps (an idle period of
     /// the load, or the portion of a job served by some other battery).
     pub fn advance_idle(&mut self, steps: u64, fleet: &DiscreteFleet) {
+        #[cfg(debug_assertions)]
+        let total_before = self.total_charge_units();
         for (i, battery) in self.batteries.iter_mut().enumerate() {
             battery.advance_recovery(steps, fleet.table_of(i));
         }
+        // Charge conservation: recovery redistributes charge between the
+        // bound and available wells; it never changes the fleet total.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.total_charge_units(),
+            total_before,
+            "idle recovery changed the total charge"
+        );
     }
 
     /// Lets battery `active` serve a job portion of `steps` time steps with
@@ -200,9 +210,18 @@ impl MultiBatteryState {
             consumed += interval;
             // As in the single-battery simulation, the emptiness condition is
             // checked at the draw instant both before and after the draw.
+            #[cfg(debug_assertions)]
+            let n_before = self.batteries[active].charge_units();
             if !self.batteries[active].is_empty(active_params) {
                 self.batteries[active].draw(units_per_draw);
             }
+            // Charge conservation: a draw instant removes at most
+            // `units_per_draw` units, all from the active battery.
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                n_before - self.batteries[active].charge_units() <= units_per_draw,
+                "draw instant removed more than the configured draw"
+            );
             if self.batteries[active].is_empty(active_params) {
                 self.batteries[active].mark_observed_empty();
                 return Ok(JobAdvance { steps_consumed: consumed, completed: false });

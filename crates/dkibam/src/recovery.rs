@@ -1,3 +1,4 @@
+use crate::checked;
 use crate::Discretization;
 use kibam::BatteryParams;
 
@@ -75,8 +76,7 @@ impl RecoveryTable {
                     let minutes = (f64::from(m) / (f64::from(m) - 1.0)).ln() / k_prime;
                     // Rounded to the nearest time step as in the paper; at
                     // least one step so recovery can never be instantaneous.
-                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                    Some(((minutes / time_step).round() as u64).max(1))
+                    Some(checked::f64_to_u64((minutes / time_step).round()).max(1))
                 }
             })
             .collect();
@@ -102,8 +102,7 @@ impl RecoveryTable {
         let mut inverse = vec![1u32; len];
         let mut t: usize = 1;
         for (m, &cum) in cumulative.iter().enumerate().skip(2) {
-            #[allow(clippy::cast_possible_truncation)]
-            let height = m as u32;
+            let height = checked::to_u32(m);
             let end = usize::try_from(cum).ok()?;
             while t <= end {
                 inverse[t] = height;
@@ -126,23 +125,21 @@ impl RecoveryTable {
     /// exceeds the table.
     #[must_use]
     pub fn steps(&self, m: u32) -> Option<u64> {
-        self.steps.get(m as usize).copied().flatten()
+        self.steps.get(checked::index(m)).copied().flatten()
     }
 
     /// The total time steps from `(m, clock 0)` down to a height difference
     /// of one unit (zero for `m <= 1`; saturated for `m` beyond the table).
     #[must_use]
     pub fn cumulative_steps(&self, m: u32) -> u64 {
-        let m = (m as usize).min(self.cumulative.len().saturating_sub(1));
+        let m = checked::index(m).min(self.cumulative.len().saturating_sub(1));
         self.cumulative.get(m).copied().unwrap_or(0)
     }
 
     /// The largest height difference covered by this table.
     #[must_use]
     pub fn max_units(&self) -> u32 {
-        #[allow(clippy::cast_possible_truncation)]
-        let len = self.steps.len() as u32;
-        len.saturating_sub(1)
+        checked::to_u32(self.steps.len()).saturating_sub(1)
     }
 
     /// Advances the recovery automaton from `(m, clock)` by `steps` time
@@ -183,24 +180,17 @@ impl RecoveryTable {
             return (1, 0);
         }
         // From `(m, 0)`: total descent work is `cumulative[m]`.
-        let cum_m = self.cumulative[m as usize];
+        let cum_m = self.cumulative[checked::index(m)];
         if steps >= cum_m {
             return (1, 0);
         }
         let target = cum_m - steps; // work left before height one; > 0
         let landed = match &self.inverse {
-            Some(inverse) => {
-                #[allow(clippy::cast_possible_truncation)]
-                let index = target as usize; // target <= cum_m < inverse.len()
-                inverse[index]
-            }
-            None => {
-                #[allow(clippy::cast_possible_truncation)]
-                let index = self.cumulative.partition_point(|&c| c < target) as u32;
-                index
-            }
+            // target <= cum_m < inverse.len()
+            Some(inverse) => inverse[checked::index_u64(target)],
+            None => checked::to_u32(self.cumulative.partition_point(|&c| c < target)),
         };
-        let clock = steps - (cum_m - self.cumulative[landed as usize]);
+        let clock = steps - (cum_m - self.cumulative[checked::index(landed)]);
         (landed, clock)
     }
 }

@@ -102,7 +102,7 @@ impl ServiceEnvelope {
 /// Monotone query cursor over a [`ServiceEnvelope`]: windows and demands
 /// must be queried in non-decreasing order (rewind by restoring a saved
 /// copy). Holds the recovery units granted so far.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct EnvelopeCursor {
     /// Recovery units granted.
     recovered: usize,
@@ -134,8 +134,7 @@ impl ServiceRateTable {
                 // Largest m with c·n > (1−c)·m, found from the float
                 // estimate and corrected against the exact predicate so the
                 // frontier matches `DiscreteBattery::is_empty` bit for bit.
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let mut m = (ratio * f64::from(n)).floor().max(0.0) as u32 + 1;
+                let mut m = crate::checked::f64_to_u32((ratio * f64::from(n)).floor().max(0.0)) + 1;
                 while m > 0 && c * f64::from(n) <= (1.0 - c) * f64::from(m) {
                     m -= 1;
                 }
@@ -159,7 +158,7 @@ impl ServiceRateTable {
     #[must_use]
     pub fn service_threshold(&self, n: u32) -> u32 {
         let top = self.threshold.len() - 1;
-        self.threshold[(n as usize).min(top)]
+        self.threshold[crate::checked::index(n).min(top)]
     }
 
     /// The Eq. 6 recovery time at height difference `m`, saturating at the
@@ -167,19 +166,20 @@ impl ServiceRateTable {
     #[must_use]
     pub fn recovery_steps(&self, m: u32) -> Option<u64> {
         let top = self.recovery_steps.len() - 1;
-        self.recovery_steps[(m as usize).min(top)]
+        self.recovery_steps[crate::checked::index(m).min(top)]
     }
 
     /// Σ of the recovery times at heights `2..=h` (0 for `h ≤ 1`),
     /// saturating above the table: heights past the top are charged the
     /// top's (fastest) time.
     fn height_range_cost(&self, h: u64) -> u64 {
-        let top = (self.prefix_steps.len() - 1) as u64;
+        let top = crate::checked::to_u64(self.prefix_steps.len() - 1);
         if h <= top {
-            return self.prefix_steps[h as usize];
+            return self.prefix_steps[crate::checked::index_u64(h)];
         }
         let extra = h - top;
-        self.prefix_steps[top as usize] + extra * self.recovery_steps[top as usize].unwrap_or(0)
+        let top = crate::checked::index_u64(top);
+        self.prefix_steps[top] + extra * self.recovery_steps[top].unwrap_or(0)
     }
 
     /// Whether a battery at `(n, m)` could serve `s + 1` units without
@@ -256,8 +256,14 @@ impl ServiceRateTable {
                 // The reachable band cannot recover: the envelope ends.
                 break;
             }
-            #[allow(clippy::cast_possible_truncation)]
-            out.frontier_height.push(height as u32);
+            // Envelope monotonicity: the recovery frontier only shrinks as
+            // units are served, so the priced heights are non-increasing.
+            debug_assert!(
+                out.frontier_height.last().map_or(true, |&prev| height <= u64::from(prev)),
+                "service frontier heights must be non-increasing"
+            );
+            // `height` was validated against the u32 recovery table above.
+            out.frontier_height.push(crate::checked::to_u32(crate::checked::index_u64(height)));
             let cost = self.height_range_cost(height) - self.height_range_cost(height - 1);
             let previous = out.frontier_prefix.last().copied().unwrap_or(0);
             out.frontier_prefix.push(previous + cost);
@@ -286,7 +292,8 @@ impl ServiceRateTable {
         let mut hi = limit;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if u64::from(envelope.frontier_height[mid]) + (mid as u64 + 1) <= climb {
+            if u64::from(envelope.frontier_height[mid]) + (crate::checked::to_u64(mid) + 1) <= climb
+            {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -296,8 +303,8 @@ impl ServiceRateTable {
         let mut total = if split > 0 { envelope.frontier_prefix[split - 1] } else { 0 };
         if split < priced {
             // Demand-paced heights climb − (split+1) down to climb − priced.
-            let high = climb.saturating_sub(split as u64 + 1);
-            let low = climb.saturating_sub(priced as u64);
+            let high = climb.saturating_sub(crate::checked::to_u64(split) + 1);
+            let low = climb.saturating_sub(crate::checked::to_u64(priced));
             if low <= 1 {
                 return u64::MAX;
             }
@@ -326,6 +333,12 @@ impl ServiceRateTable {
         {
             cursor.recovered += 1;
         }
+        // Charge conservation: no window lets a battery serve more units
+        // than the charge it held when the envelope was built.
+        debug_assert!(
+            envelope.units_at[cursor.recovered] <= envelope.charge,
+            "service envelope promised more units than the battery's charge"
+        );
         envelope.units_at[cursor.recovered].min(demand_units)
     }
 }

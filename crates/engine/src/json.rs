@@ -73,8 +73,12 @@ impl JsonValue {
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            JsonValue::Number(n)
+                // xlint: allow(float-eq) -- fract() == 0.0 is the exact integrality test
+                if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 =>
+            {
+                Some(dkibam::checked::f64_to_u64(*n))
+            }
             _ => None,
         }
     }
@@ -208,7 +212,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.bytes.get(self.pos) == Some(&byte) {
             self.pos += 1;
             Ok(())
@@ -253,11 +257,19 @@ impl Parser<'_> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number bytes"))?;
         let number: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        // JSON has no NaN/infinity; an overflowing literal like `1e999`
+        // would otherwise smuggle one in and poison downstream comparisons.
+        if !number.is_finite() {
+            return Err(JsonError {
+                message: format!("number '{text}' overflows the finite f64 range"),
+                offset: start,
+            });
+        }
         Ok(JsonValue::Number(number))
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
@@ -335,7 +347,7 @@ impl Parser<'_> {
     }
 
     fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.bytes.get(self.pos) == Some(&b']') {
@@ -358,7 +370,7 @@ impl Parser<'_> {
     }
 
     fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.bytes.get(self.pos) == Some(&b'}') {
@@ -367,9 +379,16 @@ impl Parser<'_> {
         }
         loop {
             self.skip_whitespace();
+            let key_offset = self.pos;
             let key = self.parse_string()?;
+            if fields.iter().any(|(existing, _)| *existing == key) {
+                return Err(JsonError {
+                    message: format!("duplicate object key \"{key}\""),
+                    offset: key_offset,
+                });
+            }
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value()?;
             fields.push((key, value));

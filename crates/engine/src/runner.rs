@@ -24,8 +24,8 @@ use battery_sched::optimal::OptimalScheduler;
 use battery_sched::policy::FixedSchedule;
 use battery_sched::system::{simulate_policy_with, SystemConfig, SystemOutcome};
 use kibam::BatteryParams;
-use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -174,8 +174,9 @@ pub fn results_from_json(text: &str) -> Result<(ScenarioSpec, Vec<JsonValue>), E
 }
 
 /// Key of a cached system configuration: the per-battery parameters of the
-/// fleet plus the discretization, all by exact bit pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// fleet plus the discretization, all by exact bit pattern (hence `Ord`:
+/// the cache is a `BTreeMap`, so worker behavior is order-deterministic).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct SystemKey {
     batteries: Vec<(u64, u64, u64)>,
     time_step: u64,
@@ -218,7 +219,7 @@ struct CachedSystem {
 /// once per worker instead of once per cell.
 #[derive(Debug, Default)]
 pub struct WorkerCache {
-    systems: HashMap<SystemKey, CachedSystem>,
+    systems: BTreeMap<SystemKey, CachedSystem>,
 }
 
 impl WorkerCache {
@@ -280,6 +281,7 @@ fn execute_scalar(
     system: &mut CachedSystem,
     load: &dkibam::DiscretizedLoad,
 ) -> Result<ScenarioResult, EngineError> {
+    // xlint: allow(clock) -- wall_micros is measurement-only, excluded from --compare
     let start = Instant::now();
     let (outcome, lifetime_minutes, search, seeded_by) = match scenario.policy {
         PolicyKind::Optimal { budget } => {
@@ -315,6 +317,7 @@ fn execute_scalar(
         }
         _ => {
             let mut policy =
+                // xlint: allow(panic) -- every non-optimal PolicyKind constructs infallibly
                 scenario.policy.build().expect("non-optimal policies always instantiate");
             let outcome = simulate_on_backend(system, scenario.backend, load, policy.as_mut())?;
             let minutes = outcome.lifetime_minutes();
@@ -436,8 +439,10 @@ fn run_batched_group(
             let lanes: Vec<_> = members.iter().map(|_| batch.push_fleet(fleet)).collect();
             for (&offset, lanes) in members.iter().zip(lanes) {
                 let scenario = &scenarios[offset];
+                // xlint: allow(clock) -- wall_micros is measurement-only, excluded from --compare
                 let start = Instant::now();
                 let mut policy =
+                    // xlint: allow(panic) -- batching already filtered out optimal-policy cells
                     scenario.policy.build().expect("batched cells never run the optimal policy");
                 let mut view = BatchDiscreteView::new(&mut batch, lanes, fleet, &type_params);
                 let outcome = simulate_policy_with(
@@ -455,8 +460,10 @@ fn run_batched_group(
             let lanes: Vec<_> = members.iter().map(|_| batch.push_fleet(fleet)).collect();
             for (&offset, lanes) in members.iter().zip(lanes) {
                 let scenario = &scenarios[offset];
+                // xlint: allow(clock) -- wall_micros is measurement-only, excluded from --compare
                 let start = Instant::now();
                 let mut policy =
+                    // xlint: allow(panic) -- batching already filtered out optimal-policy cells
                     scenario.policy.build().expect("batched cells never run the optimal policy");
                 let mut view = BatchRvView::new(&mut batch, lanes, fleet);
                 let outcome = simulate_policy_with(
@@ -469,6 +476,7 @@ fn run_batched_group(
             }
         }
         BackendKind::Continuous | BackendKind::Ideal => {
+            // xlint: allow(panic) -- the grouping pass admits only batchable backends
             unreachable!("only discretized/rv scenarios are grouped for batching")
         }
     }
@@ -535,6 +543,7 @@ fn run_chunk(scenarios: &[Scenario], cache: &mut WorkerCache) -> ChunkOutput {
     let mut results = Vec::with_capacity(prepared.len());
     let mut error = None;
     for (offset, outcome) in outcomes.into_iter().enumerate() {
+        // xlint: allow(panic) -- the scalar/batched passes above fill every slot
         match outcome.expect("every prepared scenario is executed") {
             Ok(result) => results.push(result),
             Err(e) => {
@@ -618,9 +627,11 @@ fn run_chunked(
             scope.spawn(move || {
                 let mut cache = WorkerCache::new();
                 loop {
+                    // ordering: Acquire pairs with the poison Release stores below.
                     if poison.load(Ordering::Acquire) {
                         break;
                     }
+                    // ordering: Relaxed — a pure claim ticket; results synchronize via mpsc.
                     let start = next.fetch_add(chunk_size, Ordering::Relaxed);
                     if start >= scenarios.len() {
                         break;
@@ -629,6 +640,7 @@ fn run_chunked(
                     let output = run_chunk(&scenarios[start..end], &mut cache);
                     let failed = output.error.is_some();
                     if failed {
+                        // ordering: Release pairs with the Acquire load in the claim loop.
                         poison.store(true, Ordering::Release);
                     }
                     // A send only fails if the receiver is gone, which
@@ -666,6 +678,7 @@ fn run_chunked(
                         // poison the cursor so workers stop claiming chunks
                         // instead of computing results nobody can receive.
                         sink_open = false;
+                        // ordering: Release pairs with the Acquire load in the claim loop.
                         poison.store(true, Ordering::Release);
                         break;
                     }

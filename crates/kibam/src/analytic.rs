@@ -66,6 +66,7 @@ pub(crate) fn evolve_unchecked(
     current: f64,
     duration: f64,
 ) -> TransformedState {
+    // xlint: allow(float-eq) -- exact-zero duration is the no-op sentinel
     if duration == 0.0 {
         return state;
     }
@@ -118,6 +119,7 @@ pub fn time_to_empty(
     }
     // Upper bound: draining the entire remaining charge takes gamma / I.
     let t_max = (state.gamma / current).max(0.0);
+    // xlint: allow(float-eq) -- max(0.0) pins the exact-zero boundary case
     if t_max == 0.0 {
         return Ok(Some(0.0));
     }

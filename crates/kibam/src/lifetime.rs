@@ -67,6 +67,7 @@ impl Segment {
     /// Whether this segment draws no current.
     #[must_use]
     pub fn is_idle(&self) -> bool {
+        // xlint: allow(float-eq) -- idle is defined as exactly-zero current
         self.current == 0.0
     }
 
@@ -150,6 +151,7 @@ where
             return None;
         }
         if let Some(t) = time_to_empty(params, current_state, segment.current)
+            // xlint: allow(panic) -- segment currents are validated at construction
             .expect("segment currents are validated at construction")
         {
             if t <= segment.duration {

@@ -6,7 +6,7 @@
 //! predicate. The priced variant — which also returns the cheapest witness —
 //! lives in [`crate::mincost`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::network::Network;
 use crate::semantics::{Semantics, TransitionLabel};
@@ -62,7 +62,7 @@ where
 
     // Nodes store states plus back-pointers for trace reconstruction.
     let mut nodes: Vec<(State, Option<(usize, TransitionLabel)>)> = vec![(initial.clone(), None)];
-    let mut visited: HashSet<_> = HashSet::new();
+    let mut visited: BTreeSet<_> = BTreeSet::new();
     visited.insert(initial.key());
     let mut queue: VecDeque<usize> = VecDeque::new();
     queue.push_back(0);
@@ -123,7 +123,7 @@ pub(crate) fn rebuild_trace(
 /// Map-based variant of the visited bookkeeping shared with the min-cost
 /// search; exposed for white-box tests.
 #[allow(dead_code)]
-pub(crate) type BestCosts = HashMap<crate::state::StateKey, u64>;
+pub(crate) type BestCosts = BTreeMap<crate::state::StateKey, u64>;
 
 #[cfg(test)]
 mod tests {

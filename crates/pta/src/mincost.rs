@@ -14,7 +14,7 @@
 //! popped from the frontier its cost is optimal.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::network::Network;
 use crate::semantics::{Semantics, TransitionLabel};
@@ -59,7 +59,7 @@ where
     // Node arena with back-pointers for trace reconstruction.
     let mut nodes: Vec<(State, Option<(usize, TransitionLabel)>)> = vec![(initial.clone(), None)];
     // Best known cost per state identity.
-    let mut best: HashMap<StateKey, u64> = HashMap::new();
+    let mut best: BTreeMap<StateKey, u64> = BTreeMap::new();
     best.insert(initial.key(), 0);
     // Frontier ordered by (cost, node index) — the index breaks ties
     // deterministically.

@@ -82,8 +82,10 @@ impl State {
     }
 }
 
-/// The hashable identity of a [`State`] (locations, clocks and variables).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The hashable, totally ordered identity of a [`State`] (locations,
+/// clocks and variables); the derived `Ord` is what lets the searches use
+/// `BTreeMap`/`BTreeSet` for deterministic iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateKey {
     locations: Vec<usize>,
     clocks: Vec<u64>,

@@ -125,6 +125,7 @@ pub(crate) fn evolve_unchecked(
     current: f64,
     duration: f64,
 ) -> DiffusionState {
+    // xlint: allow(float-eq) -- exact-zero duration is the no-op sentinel
     if duration == 0.0 {
         return state.clone();
     }
@@ -189,6 +190,7 @@ pub fn time_to_empty(
     // Upper bound: σ(t) ≥ consumed + I·t, so the crossing lies at or before
     // the point where the *true* remaining charge runs out.
     let t_max = ((params.alpha() - state.consumed) / current).max(0.0);
+    // xlint: allow(float-eq) -- max(0.0) pins the exact-zero boundary case
     if t_max == 0.0 {
         return Ok(Some(0.0));
     }

@@ -81,6 +81,7 @@ impl RvBatch {
         let lane = self.len();
         self.consumed_units.push(cell.consumed_units);
         self.moments.push(cell.moments);
+        // xlint: allow(panic) -- fleets are bounded far below u32::MAX type groups
         self.type_ids.push(u32::try_from(type_id).expect("type count fits u32"));
         if self.retired.len() * 64 < self.len() {
             self.retired.push(0);
@@ -125,7 +126,7 @@ impl RvBatch {
     /// The battery type-group id of lane `lane`.
     #[must_use]
     pub fn type_id(&self, lane: usize) -> usize {
-        self.type_ids[lane] as usize
+        dkibam::checked::index(self.type_ids[lane])
     }
 
     /// Whether lane `lane` has been observed empty and retired.
@@ -173,7 +174,7 @@ impl RvBatch {
         let decays: Vec<[f64; MAX_STEP_TERMS]> =
             tables.iter().map(|t| t.recovery_decays(steps)).collect();
         for lane in lanes {
-            let ty = self.type_ids[lane] as usize;
+            let ty = dkibam::checked::index(self.type_ids[lane]);
             tables[ty].apply_recovery_decays(&mut self.moments[lane], &decays[ty]);
         }
     }
@@ -203,7 +204,7 @@ impl RvBatch {
             self.recover_range(lanes, steps, tables);
             return StepAdvance { steps_consumed: steps, completed: true };
         }
-        let table = &tables[self.type_ids[active] as usize];
+        let table = &tables[dkibam::checked::index(self.type_ids[active])];
         if self.lane_is_empty(active, tables) {
             self.set_retired(active);
             return StepAdvance { steps_consumed: 0, completed: false };

@@ -80,8 +80,7 @@ impl RvCell {
             if !(quanta >= 0.0 && quanta <= FIELD_MAX as f64) {
                 return None;
             }
-            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-            let quanta = quanta as u64;
+            let quanta = dkibam::checked::f64_to_u64(quanta);
             word |= u128::from(quanta) << shift;
             shift += FIELD_BITS;
         }
@@ -115,11 +114,13 @@ impl RvCell {
 fn unpack(word: u128) -> (u64, [u64; MAX_STEP_TERMS], bool) {
     let empty = word & 1 == 1;
     #[allow(clippy::cast_possible_truncation)]
+    // xlint: allow(cast) -- masked field extraction from the packed state word
     let consumed = ((word >> 1) as u64) & FIELD_MAX;
     let mut quanta = [0u64; MAX_STEP_TERMS];
     let mut shift = 1 + FIELD_BITS;
     for slot in &mut quanta {
         #[allow(clippy::cast_possible_truncation)]
+        // xlint: allow(cast) -- masked field extraction from the packed state word
         let value = ((word >> shift) as u64) & FIELD_MAX;
         *slot = value;
         shift += FIELD_BITS;

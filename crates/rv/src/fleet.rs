@@ -31,6 +31,7 @@ impl RvFleet {
         let tables = (0..spec.type_count())
             .map(|t| {
                 RvStepTable::new(&RvParams::from_kibam(spec.type_params(t)), &disc)
+                    // xlint: allow(panic) -- fitted_terms is clamped to MAX_STEP_TERMS
                     .expect("fitted truncation orders stay within the stepping form's cap")
             })
             .collect();
@@ -45,6 +46,7 @@ impl RvFleet {
     /// [`RvFleet::new`] to handle the error explicitly.
     #[must_use]
     pub fn uniform(params: &BatteryParams, disc: &Discretization, count: usize) -> Self {
+        // xlint: allow(panic) -- documented `# Panics` convenience constructor
         let spec = FleetSpec::uniform(*params, count).expect("battery count must be positive");
         Self::new(spec, *disc)
     }

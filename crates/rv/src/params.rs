@@ -18,8 +18,7 @@ use kibam::BatteryParams;
 #[must_use]
 pub fn fitted_terms(params: &BatteryParams) -> usize {
     let slope = (1.0 - params.c()) / (2.0 * params.c());
-    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-    let terms = slope.round().max(1.0) as usize;
+    let terms = dkibam::checked::f64_to_usize(slope.round().max(1.0));
     terms.clamp(1, crate::MAX_STEP_TERMS)
 }
 
@@ -99,6 +98,7 @@ impl RvParams {
     #[must_use]
     pub fn from_kibam(params: &BatteryParams) -> Self {
         Self::from_kibam_with_terms(params, fitted_terms(params))
+            // xlint: allow(panic) -- fitted_terms is clamped to the valid range above
             .expect("fitted_terms stays within the valid range")
     }
 

@@ -163,7 +163,9 @@ impl RvStepTable {
     #[must_use]
     pub fn recovery_decays(&self, steps: u64) -> [f64; MAX_STEP_TERMS] {
         let mut decays = [0.0; MAX_STEP_TERMS];
-        for (decay, step_decay) in decays.iter_mut().zip(&self.step_decays).take(self.params.terms()) {
+        for (decay, step_decay) in
+            decays.iter_mut().zip(&self.step_decays).take(self.params.terms())
+        {
             *decay = decay_pow(*step_decay, steps);
         }
         decays

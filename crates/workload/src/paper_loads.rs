@@ -205,6 +205,7 @@ fn continuous(currents: &[f64]) -> LoadProfile {
     for &current in currents {
         builder = builder.job(current, JOB_DURATION);
     }
+    // xlint: allow(panic) -- the hard-coded paper constants always build
     builder.build_cyclic().expect("paper load patterns are valid")
 }
 
@@ -213,13 +214,16 @@ fn intermittent(currents: &[f64], idle: f64) -> LoadProfile {
     for &current in currents {
         builder = builder.job(current, JOB_DURATION).idle(idle);
     }
+    // xlint: allow(panic) -- the hard-coded paper constants always build
     builder.build_cyclic().expect("paper load patterns are valid")
 }
 
 fn random_load(seed: u64) -> LoadProfile {
     RandomLoadSpec::new(vec![LOW_CURRENT, HIGH_CURRENT], JOB_DURATION, SHORT_IDLE, RANDOM_JOB_COUNT)
+        // xlint: allow(panic) -- the hard-coded paper constants always validate
         .expect("the random-load specification constants are valid")
         .generate(seed)
+        // xlint: allow(panic) -- generation from a validated spec cannot fail
         .expect("generation from a valid specification cannot fail")
 }
 

@@ -65,6 +65,7 @@ impl Epoch {
     /// Whether this epoch is an idle period (draws no current).
     #[must_use]
     pub fn is_idle(&self) -> bool {
+        // xlint: allow(float-eq) -- idle is defined as exactly-zero current
         self.current == 0.0
     }
 
@@ -84,6 +85,7 @@ impl Epoch {
     #[must_use]
     pub fn to_segment(&self) -> Segment {
         Segment::new(self.current, self.duration)
+            // xlint: allow(panic) -- epoch invariants are a superset of segment invariants
             .expect("epoch invariants are a superset of segment invariants")
     }
 }

@@ -1,0 +1,424 @@
+//! A hand-rolled Rust lexer — just enough fidelity for token-level lint
+//! rules: comments (captured, for escape/justification comments), string
+//! and char literals (skipped, so a banned name inside a string never
+//! fires), raw strings, lifetime-vs-char disambiguation, numeric literals
+//! with a float/integer distinction, identifiers, and the handful of
+//! multi-character operators the rules care about (`==`, `!=`, `::`, ...).
+//!
+//! The lexer is intentionally forgiving: malformed input never panics, it
+//! just degrades into single-character punctuation tokens. The rule engine
+//! only ever *matches* token patterns, so the worst a lexer gap can cause
+//! is a missed finding — never a false build break.
+
+use std::collections::BTreeMap;
+
+/// The coarse kind of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e-9`, `3.5f32`).
+    Float,
+    /// Punctuation / operator (`==`, `::`, `(`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text, verbatim (operators are normalized to their full
+    /// multi-character spelling).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation `op`.
+    #[must_use]
+    pub fn is_punct(&self, op: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == op
+    }
+}
+
+/// The result of lexing one source file: the token stream plus every
+/// comment, grouped by the 1-based line it appears on (block comments
+/// contribute to every line they span).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment text per 1-based line (multiple comments on one line are
+    /// concatenated with a space).
+    pub comments: BTreeMap<u32, String>,
+}
+
+impl Lexed {
+    fn push_comment(&mut self, line: u32, text: &str) {
+        let slot = self.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    }
+}
+
+/// Two- and three-character operators the lexer keeps whole. Order
+/// matters: longest first, so `..=` wins over `..`.
+const MULTI_OPS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `source` into tokens and per-line comments.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut pos = 0usize;
+    let mut line: u32 = 1;
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                out.push_comment(line, source[start..pos].trim());
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                // Nested block comment; each spanned line records its chunk.
+                let mut depth = 1usize;
+                pos += 2;
+                let mut chunk_start = pos;
+                while pos < bytes.len() && depth > 0 {
+                    if bytes[pos] == b'\n' {
+                        out.push_comment(line, source[chunk_start..pos].trim());
+                        line += 1;
+                        pos += 1;
+                        chunk_start = pos;
+                    } else if bytes[pos] == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+                        depth += 1;
+                        pos += 2;
+                    } else if bytes[pos] == b'*' && bytes.get(pos + 1) == Some(&b'/') {
+                        depth -= 1;
+                        pos += 2;
+                    } else {
+                        pos += 1;
+                    }
+                }
+                let end = pos.min(bytes.len());
+                if chunk_start < end {
+                    out.push_comment(line, source[chunk_start..end].trim_end_matches("*/").trim());
+                }
+            }
+            b'"' => pos = skip_string(bytes, pos, &mut line),
+            b'\'' => pos = skip_char_or_lifetime(bytes, pos, &mut line),
+            b'r' | b'b' if starts_string_prefix(bytes, pos) => {
+                pos = skip_prefixed_string(bytes, pos, &mut line);
+            }
+            _ if c.is_ascii_digit() => {
+                let (end, kind) = lex_number(bytes, pos);
+                out.tokens.push(Token { kind, text: source[pos..end].to_owned(), line });
+                pos = end;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                let end = ident_end(bytes, pos);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[pos..end].to_owned(),
+                    line,
+                });
+                pos = end;
+            }
+            _ => {
+                let rest = &source[pos..];
+                let op = MULTI_OPS.iter().find(|op| rest.starts_with(**op));
+                let text = op.map_or_else(|| &source[pos..pos + 1], |op| *op);
+                out.tokens.push(Token { kind: TokenKind::Punct, text: text.to_owned(), line });
+                pos += text.len();
+            }
+        }
+    }
+    out
+}
+
+fn ident_end(bytes: &[u8], start: usize) -> usize {
+    let mut pos = start;
+    while pos < bytes.len()
+        && (bytes[pos] == b'_' || bytes[pos].is_ascii_alphanumeric() || bytes[pos] >= 0x80)
+    {
+        pos += 1;
+    }
+    pos
+}
+
+/// Whether `r`/`b` at `pos` starts a (raw/byte) string or byte-char
+/// literal rather than an identifier.
+fn starts_string_prefix(bytes: &[u8], pos: usize) -> bool {
+    let next = bytes.get(pos + 1).copied();
+    match bytes[pos] {
+        b'b' => match next {
+            Some(b'"' | b'\'') => true,
+            Some(b'r') => {
+                matches!(bytes.get(pos + 2), Some(b'"' | b'#')) && raw_quote_follows(bytes, pos + 2)
+            }
+            _ => false,
+        },
+        b'r' => matches!(next, Some(b'"' | b'#')) && raw_quote_follows(bytes, pos + 1),
+        _ => false,
+    }
+}
+
+/// From a position at `"` or the first `#` of a raw-string opener, whether
+/// a quote actually follows the `#` run (distinguishes `r#ident` raw
+/// identifiers from `r#"..."#` raw strings).
+fn raw_quote_follows(bytes: &[u8], mut pos: usize) -> bool {
+    while bytes.get(pos) == Some(&b'#') {
+        pos += 1;
+    }
+    bytes.get(pos) == Some(&b'"')
+}
+
+fn skip_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut pos = start + 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'"' => return pos + 1,
+            b'\n' => {
+                *line += 1;
+                pos += 1;
+            }
+            _ => pos += 1,
+        }
+    }
+    pos
+}
+
+fn skip_prefixed_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut pos = start;
+    while matches!(bytes.get(pos), Some(b'r' | b'b')) {
+        pos += 1;
+    }
+    if bytes.get(pos) == Some(&b'\'') {
+        return skip_char_or_lifetime(bytes, pos, line);
+    }
+    let mut hashes = 0usize;
+    while bytes.get(pos) == Some(&b'#') {
+        hashes += 1;
+        pos += 1;
+    }
+    if bytes.get(pos) != Some(&b'"') {
+        return start + 1; // Not a string after all; re-lex as ident.
+    }
+    if hashes == 0 {
+        return skip_string(bytes, pos, line);
+    }
+    pos += 1;
+    while pos < bytes.len() {
+        if bytes[pos] == b'\n' {
+            *line += 1;
+            pos += 1;
+        } else if bytes[pos] == b'"'
+            && bytes[pos + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            return pos + 1 + hashes;
+        } else {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Skips a char literal (`'a'`, `'\n'`, `'\u{1F600}'`) or a lifetime
+/// (`'a`, `'static`), returning the position after it.
+fn skip_char_or_lifetime(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let next = bytes.get(start + 1).copied();
+    let after = bytes.get(start + 2).copied();
+    let is_lifetime =
+        matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic()) && after != Some(b'\'');
+    if is_lifetime {
+        return ident_end(bytes, start + 1);
+    }
+    // Char literal: scan to the closing quote, honoring escapes.
+    let mut pos = start + 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'\'' => return pos + 1,
+            b'\n' => {
+                // Stray quote (macro `'` or malformed input): bail out so a
+                // lexer gap cannot swallow the rest of the file.
+                *line += 1;
+                return pos;
+            }
+            _ => pos += 1,
+        }
+    }
+    pos
+}
+
+fn lex_number(bytes: &[u8], start: usize) -> (usize, TokenKind) {
+    let mut pos = start;
+    let radix_prefixed = bytes[pos] == b'0'
+        && matches!(bytes.get(pos + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if radix_prefixed {
+        pos += 2;
+        while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+            pos += 1;
+        }
+        return (pos, TokenKind::Int);
+    }
+    let mut kind = TokenKind::Int;
+    while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'_') {
+        pos += 1;
+    }
+    // Fraction: only when a digit follows the dot (so `x.0` tuple access
+    // and `1..n` ranges stay punctuation).
+    if bytes.get(pos) == Some(&b'.') && matches!(bytes.get(pos + 1), Some(c) if c.is_ascii_digit())
+    {
+        kind = TokenKind::Float;
+        pos += 1;
+        while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'_') {
+            pos += 1;
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(pos), Some(b'e' | b'E')) {
+        let mut exp = pos + 1;
+        if matches!(bytes.get(exp), Some(b'+' | b'-')) {
+            exp += 1;
+        }
+        if matches!(bytes.get(exp), Some(c) if c.is_ascii_digit()) {
+            kind = TokenKind::Float;
+            pos = exp;
+            while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...): a leading `f` makes it a float.
+    if matches!(bytes.get(pos), Some(c) if c.is_ascii_alphabetic()) {
+        if bytes[pos] == b'f' {
+            kind = TokenKind::Float;
+        }
+        pos = ident_end(bytes, pos);
+    }
+    (pos, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn skips_strings_and_comments() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"HashMap"#;
+            let b = b"HashMap";
+            let real = HashMap::new();
+        "##;
+        let names = idents(src);
+        assert_eq!(names.iter().filter(|n| *n == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn comments_are_captured_per_line() {
+        let lexed = lex("let x = 1; // xlint: allow(panic) -- reason\n// ordering: pairs\n");
+        assert!(lexed.comments[&1].contains("xlint: allow(panic)"));
+        assert!(lexed.comments[&2].contains("ordering:"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let nl = '\\n';";
+        let lexed = lex(src);
+        // The idents survive and no token stream corruption occurs.
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+        assert!(!lexed.tokens.iter().any(|t| t.text.contains('\'')));
+    }
+
+    #[test]
+    fn float_and_int_literals_are_distinguished() {
+        let lexed = lex("let a = 1.5; let b = 2; let c = 3e-9; let d = 4f64; let e = 0x1E; \
+                         let f = x.0; let g = 1..5; let h = 1_000u64;");
+        let kinds: Vec<(String, TokenKind)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        let kind_of = |text: &str| kinds.iter().find(|(t, _)| t == text).map(|(_, k)| *k);
+        assert_eq!(kind_of("1.5"), Some(TokenKind::Float));
+        assert_eq!(kind_of("2"), Some(TokenKind::Int));
+        assert_eq!(kind_of("3e-9"), Some(TokenKind::Float));
+        assert_eq!(kind_of("4f64"), Some(TokenKind::Float));
+        assert_eq!(kind_of("0x1E"), Some(TokenKind::Int));
+        assert_eq!(kind_of("1_000u64"), Some(TokenKind::Int));
+        // Tuple access and ranges stay integers, not floats.
+        assert_eq!(kind_of("0"), Some(TokenKind::Int));
+        assert_eq!(kind_of("1"), Some(TokenKind::Int));
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        let lexed = lex("a == b; c != d; E::F; g -> h; i <= j;");
+        let ops: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        for op in ["==", "!=", "::", "->", "<="] {
+            assert!(ops.contains(&op), "missing {op} in {ops:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\nb\n/* block\ncomment */\nc";
+        let lexed = lex(src);
+        let line_of = |name: &str| lexed.tokens.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("b"), Some(4));
+        assert_eq!(line_of("c"), Some(7));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let lexed = lex("let r#type = 1; let ok = r#\"raw\"#;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("r")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(!lexed.tokens.iter().any(|t| t.text.contains("raw")));
+    }
+}

@@ -1,0 +1,99 @@
+//! `xlint` CLI: lint the workspace, print findings and escape tallies,
+//! optionally write the stats JSON artifact.
+//!
+//! ```text
+//! cargo run -p xlint                      # lint, warn on escape hygiene
+//! cargo run -p xlint -- --deny-all        # escape-hygiene findings fail too
+//! cargo run -p xlint -- --stats-out BENCH_lint.json
+//! cargo run -p xlint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit status is 1 when any rule violation remains (plus, under
+//! `--deny-all`, when any `xlint: allow` escape is malformed or unused),
+//! 0 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::rules::RuleId;
+use xlint::walk::lint_workspace;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut stats_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--stats-out" => match argv.next() {
+                Some(path) => stats_out = Some(PathBuf::from(path)),
+                None => return usage("--stats-out needs a path"),
+            },
+            "--root" => match argv.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default to the workspace this binary was built from: xlint lives at
+    // <root>/crates/xlint.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("xlint: failed to walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for (path, finding) in &report.findings {
+        let severity =
+            if finding.rule == RuleId::Escape && !deny_all { "warning" } else { "violation" };
+        println!("{path}:{}: {severity}[{}] {}", finding.line, finding.rule, finding.message);
+    }
+
+    let per_rule = report.per_rule();
+    println!("xlint: {} files scanned", report.files_scanned);
+    for (rule, stats) in &per_rule {
+        if stats.violations > 0 || stats.allows > 0 {
+            println!(
+                "xlint:   {:<12} {} violation(s), {} allow(s)",
+                rule.name(),
+                stats.violations,
+                stats.allows
+            );
+        }
+    }
+    println!(
+        "xlint: {} violation(s), {} counted allow escape(s), {} documented atomic ordering(s)",
+        report.findings.len(),
+        report.allows.len(),
+        report.ordering_documented
+    );
+
+    if let Some(path) = stats_out {
+        if let Err(err) = std::fs::write(&path, report.stats_json()) {
+            eprintln!("xlint: failed to write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("xlint: stats written to {}", path.display());
+    }
+
+    let failing = report.hard_violations() + if deny_all { report.hygiene_violations() } else { 0 };
+    if failing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("xlint: {problem}");
+    eprintln!("usage: xlint [--deny-all] [--stats-out FILE] [--root DIR]");
+    ExitCode::from(2)
+}

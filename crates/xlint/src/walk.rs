@@ -1,0 +1,182 @@
+//! Workspace walking: crate classification, deterministic file
+//! ordering, and report aggregation.
+
+use crate::rules::{lint_source, Allow, CrateContext, Finding, RuleId};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Per-rule tallies.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RuleStats {
+    /// Unsuppressed findings.
+    pub violations: usize,
+    /// Findings suppressed by a counted `xlint: allow` escape.
+    pub allows: usize,
+}
+
+/// The aggregated lint result for the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files lexed and linted.
+    pub files_scanned: usize,
+    /// Violations, keyed by workspace-relative path.
+    pub findings: Vec<(String, Finding)>,
+    /// Consumed escapes, keyed by workspace-relative path.
+    pub allows: Vec<(String, Allow)>,
+    /// Atomic `Ordering::` sites carrying a `// ordering:` comment.
+    pub ordering_documented: usize,
+}
+
+impl Report {
+    /// Per-rule violation/allow tallies, in [`RuleId::ALL`] order.
+    #[must_use]
+    pub fn per_rule(&self) -> BTreeMap<RuleId, RuleStats> {
+        let mut map: BTreeMap<RuleId, RuleStats> =
+            RuleId::ALL.iter().map(|&rule| (rule, RuleStats::default())).collect();
+        for (_, finding) in &self.findings {
+            if let Some(stats) = map.get_mut(&finding.rule) {
+                stats.violations += 1;
+            }
+        }
+        for (_, allow) in &self.allows {
+            if let Some(stats) = map.get_mut(&allow.rule) {
+                stats.allows += 1;
+            }
+        }
+        map
+    }
+
+    /// Violations of real rules (everything except escape hygiene).
+    #[must_use]
+    pub fn hard_violations(&self) -> usize {
+        self.findings.iter().filter(|(_, f)| f.rule != RuleId::Escape).count()
+    }
+
+    /// Escape-hygiene findings (malformed or unused `xlint: allow`):
+    /// warnings by default, violations under `--deny-all`.
+    #[must_use]
+    pub fn hygiene_violations(&self) -> usize {
+        self.findings.iter().filter(|(_, f)| f.rule == RuleId::Escape).count()
+    }
+
+    /// Renders the machine-readable stats JSON (the `BENCH_lint.json`
+    /// artifact). Hand-rolled: the linter has no dependencies.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"xlint-stats-v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violations\": {},\n", self.findings.len()));
+        out.push_str(&format!("  \"allows\": {},\n", self.allows.len()));
+        out.push_str(&format!("  \"ordering_documented\": {},\n", self.ordering_documented));
+        out.push_str("  \"rules\": {\n");
+        let per_rule = self.per_rule();
+        let mut first = true;
+        for (rule, stats) in &per_rule {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    \"{}\": {{\"violations\": {}, \"allows\": {}}}",
+                rule, stats.violations, stats.allows
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Which rule groups a crate's `src/` tree is held to. Unknown crates get
+/// the full determinism + panic-freedom treatment so future crates are
+/// covered by default; `bench` (measurement, wall-clock by design) and
+/// `xlint` itself are held only to the always-on rules.
+#[must_use]
+pub fn context_for_crate(name: &str) -> CrateContext {
+    match name {
+        "bench" | "xlint" => CrateContext::aux(),
+        "kibam" | "dkibam" | "rv" | "core" => {
+            CrateContext { deterministic: true, panic_free: true, cast_audit: true }
+        }
+        _ => CrateContext { deterministic: true, panic_free: true, cast_audit: false },
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted by path so the
+/// report order is deterministic.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|entry| entry.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // `fixtures/` holds deliberately-bad sources for the linter's
+            // own self-test; `target/` is build output.
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(name.as_deref(), Some("fixtures" | "target")) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    ctx: CrateContext,
+    report: &mut Report,
+) -> io::Result<()> {
+    for path in files {
+        let source = fs::read_to_string(path)?;
+        let label = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let file_report = lint_source(&source, ctx);
+        report.files_scanned += 1;
+        report.ordering_documented += file_report.ordering_documented;
+        report.findings.extend(file_report.findings.into_iter().map(|f| (label.clone(), f)));
+        report.allows.extend(file_report.allows.into_iter().map(|a| (label.clone(), a)));
+    }
+    Ok(())
+}
+
+/// Lints every crate under `<root>/crates` plus the workspace-level
+/// `tests/` and `examples/` trees.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    crate_dirs.sort();
+    for crate_dir in crate_dirs.iter().filter(|p| p.is_dir()) {
+        let name =
+            crate_dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let ctx = context_for_crate(&name);
+
+        let mut src_files = Vec::new();
+        collect_rs(&crate_dir.join("src"), &mut src_files)?;
+        lint_files(root, &src_files, ctx, &mut report)?;
+
+        // Integration tests, examples, and benches are auxiliary: only
+        // the always-on rules apply there.
+        for aux in ["tests", "examples", "benches"] {
+            let mut aux_files = Vec::new();
+            collect_rs(&crate_dir.join(aux), &mut aux_files)?;
+            lint_files(root, &aux_files, CrateContext::aux(), &mut report)?;
+        }
+    }
+    for aux in ["tests", "examples"] {
+        let mut aux_files = Vec::new();
+        collect_rs(&root.join(aux), &mut aux_files)?;
+        lint_files(root, &aux_files, CrateContext::aux(), &mut report)?;
+    }
+    Ok(report)
+}

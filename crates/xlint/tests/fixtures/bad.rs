@@ -1,0 +1,46 @@
+//! Seeded-violation fixture for the xlint self-test. Every rule must
+//! fire at least once on this file; it is excluded from workspace walks
+//! (anything under a `fixtures/` directory is skipped).
+#![allow(unused)]
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+fn nondeterministic_lookup() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}
+
+fn wall_clock() -> std::time::Instant {
+    Instant::now()
+}
+
+fn float_equality(x: f64) -> bool {
+    x == 0.0
+}
+
+fn nan_silencing(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn panics(v: Vec<u32>) -> u32 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("nonempty");
+    if *first > *last {
+        panic!("unsorted");
+    }
+    *first
+}
+
+fn lossy_cast(charge: f64) -> u64 {
+    charge.round() as u64
+}
+
+fn undocumented_atomic(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+// xlint: allow(hash) -- stale escape: suppresses nothing, must be flagged
+fn clean() {}

@@ -1,0 +1,90 @@
+//! Linter self-test: the seeded fixture must trip every rule, and the
+//! real workspace must be clean under `--deny-all` semantics.
+
+use std::path::PathBuf;
+use xlint::rules::{lint_source, CrateContext, RuleId};
+use xlint::walk::{context_for_crate, lint_workspace};
+
+const FIXTURE: &str = include_str!("fixtures/bad.rs");
+
+fn full() -> CrateContext {
+    CrateContext { deterministic: true, panic_free: true, cast_audit: true }
+}
+
+#[test]
+fn fixture_trips_every_rule() {
+    let report = lint_source(FIXTURE, full());
+    for rule in RuleId::ALL {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "rule `{rule}` did not fire on the seeded fixture; findings: {:?}",
+            report.findings
+        );
+    }
+    // The stale escape must be flagged as hygiene, not counted as an allow.
+    assert!(report.allows.is_empty(), "{:?}", report.allows);
+}
+
+#[test]
+fn fixture_is_quiet_outside_its_scopes() {
+    // Under the auxiliary context only the always-on rules remain.
+    let report = lint_source(FIXTURE, CrateContext::aux());
+    let fired: Vec<RuleId> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(fired.contains(&RuleId::PartialCmp));
+    assert!(fired.contains(&RuleId::Ordering));
+    for banned in [RuleId::Hash, RuleId::Clock, RuleId::FloatEq, RuleId::Panic, RuleId::Cast] {
+        assert!(!fired.contains(&banned), "`{banned}` fired under aux context");
+    }
+}
+
+#[test]
+fn crate_classification_matches_the_rule_table() {
+    for name in ["kibam", "dkibam", "rv", "core"] {
+        let ctx = context_for_crate(name);
+        assert!(ctx.deterministic && ctx.panic_free && ctx.cast_audit, "{name}");
+    }
+    for name in ["engine", "workload", "pta", "served-someday"] {
+        let ctx = context_for_crate(name);
+        assert!(ctx.deterministic && ctx.panic_free && !ctx.cast_audit, "{name}");
+    }
+    for name in ["bench", "xlint"] {
+        let ctx = context_for_crate(name);
+        assert!(!ctx.deterministic && !ctx.panic_free && !ctx.cast_audit, "{name}");
+    }
+}
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root).expect("workspace walk");
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+    let violations: Vec<String> = report
+        .findings
+        .iter()
+        .map(|(path, f)| format!("{path}:{}: [{}] {}", f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "workspace has {} xlint violation(s):\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+    // The runner.rs pool atomics are the documented exemplar; if this hits
+    // zero the `// ordering:` comments were lost.
+    assert!(report.ordering_documented >= 4, "{}", report.ordering_documented);
+}
+
+#[test]
+fn stats_json_is_well_formed() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root).expect("workspace walk");
+    let json = report.stats_json();
+    assert!(json.contains("\"schema\": \"xlint-stats-v1\""));
+    for rule in RuleId::ALL {
+        assert!(json.contains(&format!("\"{rule}\"")), "missing rule `{rule}` in {json}");
+    }
+    // Balanced braces — cheap sanity check on the hand-rolled writer.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+}
