@@ -15,20 +15,28 @@
 //! from a diverging kernel would be meaningless, so divergence aborts.
 //!
 //! Output: a table on stdout and `BENCH_kernel.json` (override with a
-//! positional path). `--smoke` shrinks the workload for CI. `--min-speedup
-//! X` exits non-zero if the batched path is below `X`× scalar at the
-//! largest N on the discretized backend (the PR's acceptance gate).
+//! positional path). The document also carries a `bound_probes` section —
+//! the wall time (`bound_micros`) of the optimal search's root-bound probe
+//! on the coarse-grid alternating-load fleets, timed here because the
+//! relaxation bound's column DP is itself a kernel on the hot path of the
+//! branch-and-bound search. `--smoke` shrinks the workload for CI.
+//! `--min-speedup X` exits non-zero if the batched path is below `X`×
+//! scalar at the largest N on the discretized backend (the PR's
+//! acceptance gate).
 //!
 //! ```text
 //! kernelbench [OUT] [--smoke] [--min-speedup X]
 //! ```
 
+use battery_sched::optimal::OptimalScheduler;
+use battery_sched::system::SystemConfig;
 use dkibam::multi::MultiBatteryState;
 use dkibam::{DiscreteBatch, DiscreteFleet, Discretization};
 use engine::json::JsonValue;
 use kibam::BatteryParams;
 use rv::{RvBatch, RvCell, RvFleet};
 use std::time::Instant;
+use workload::paper_loads::TestLoad;
 
 /// Batch sizes measured, in cells (= battery lanes).
 const CELL_COUNTS: [usize; 4] = [1, 8, 64, 512];
@@ -295,6 +303,43 @@ fn measure_rv(cells: usize, cycles: u64) -> Row {
     }
 }
 
+/// Times the root-bound probe (charge + availability + relaxation bounds
+/// plus the warm-start policies) on the coarse-grid alternating-load
+/// fleets. The probe runs at every search root and the relaxation bound
+/// re-runs at interior nodes, so its wall time (`bound_micros`, matching
+/// the per-cell field the scenario grids record) belongs in the kernel
+/// trajectory next to the stepping throughput.
+fn measure_bound_probes(smoke: bool) -> JsonValue {
+    let repeats = if smoke { 1 } else { 3 };
+    let profile = TestLoad::IlsAlt.profile();
+    let mut rows = Vec::new();
+    println!("root-bound probe (ILs alt, coarse grid, best of {repeats}):");
+    println!("{:>6} {:>14}", "fleet", "bound_micros");
+    for count in [2usize, 3, 4] {
+        let config = SystemConfig::new(BatteryParams::itsy_b1(), Discretization::coarse(), count)
+            .expect("coarse uniform fleet");
+        let load = config.discretize(&profile).expect("the paper load discretizes");
+        let mut best = u128::MAX;
+        for _ in 0..repeats {
+            let mut model = config.discretized_model();
+            let start = Instant::now();
+            let bounds = OptimalScheduler::probe_root_bounds(&config, &load, &mut model)
+                .expect("the root-bound probe succeeds");
+            std::hint::black_box(bounds);
+            best = best.min(start.elapsed().as_micros());
+        }
+        println!("{count:>5}x {best:>14}");
+        #[allow(clippy::cast_precision_loss)]
+        rows.push(JsonValue::object(vec![
+            ("fleet", JsonValue::String(format!("{count}xB1"))),
+            ("load", JsonValue::String(TestLoad::IlsAlt.name().to_owned())),
+            ("bound_micros", JsonValue::Number(best as f64)),
+        ]));
+    }
+    println!();
+    JsonValue::Array(rows)
+}
+
 fn main() {
     let options = parse_options();
     // Cycle counts scale inversely with N so every row does comparable
@@ -356,12 +401,15 @@ fn main() {
         ]));
     }
 
+    let bound_probes = measure_bound_probes(options.smoke);
+
     let document = JsonValue::object(vec![
         ("smoke", JsonValue::Bool(options.smoke)),
         ("serve_steps", JsonValue::Number(SERVE_STEPS as f64)),
         ("draw_interval", JsonValue::Number(f64::from(DRAW_INTERVAL))),
         ("idle_steps", JsonValue::Number(IDLE_STEPS as f64)),
         ("backends", JsonValue::Array(backends)),
+        ("bound_probes", bound_probes),
     ]);
     let json = document.render().expect("throughput numbers are finite");
     if let Err(error) = std::fs::write(&options.out, &json) {

@@ -7,9 +7,14 @@
 //!   × 1 count (2) × 1 discretization (paper) × 10 loads × 3 policies ×
 //!   2 backends = 60 scenarios — written to `BENCH_scenarios.json`.
 //! * **Optimal grid** (`--optimal`): optimal-vs-policy on the coarse grid,
-//!   with branch-and-bound node counts, written to `BENCH_optimal.json`;
-//!   also prints the seed (pruning-disabled) search next to the memoized
-//!   one. `--max-nodes N` turns the node counts into a CI gate.
+//!   with branch-and-bound node counts (and, per optimal cell, the probed
+//!   root bounds plus their wall time), written to `BENCH_optimal.json`
+//!   together with a `frontier_root_bounds` section — the charge /
+//!   availability / relaxation / warm-start root bounds on the
+//!   alternating-load frontier fleets (2×B1 through 4×B1), so bound
+//!   tightening is diffable across commits; also prints the seed
+//!   (pruning-disabled) search next to the memoized one. `--max-nodes N`
+//!   turns the node counts into a CI gate.
 //! * **Fleet grid** (`--fleet B1+B1+B2` / `--fleet 2xB1+B2`): a
 //!   heterogeneous fleet on the coarse grid, deterministic policies next to
 //!   the optimal search, written to `BENCH_fleet.json`. The `--max-nodes`
@@ -67,7 +72,7 @@ use engine::{
     results_from_json, results_to_json, run_grid_streaming_sharded, run_grid_with_threads,
     BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, ScenarioSpec,
 };
-use kibam::BatteryParams;
+use kibam::{BatteryParams, FleetSpec};
 use std::time::Instant;
 use workload::paper_loads::TestLoad;
 
@@ -300,12 +305,17 @@ fn run_merge(args: &[String]) {
     println!("merged {} inputs into {out} ({} result rows)", inputs.len(), rows.len());
 }
 
-/// A result row with its wall-clock field removed: simulation outcomes are
-/// deterministic, wall time never is.
+/// A result row with its wall-clock fields removed: simulation outcomes
+/// are deterministic, wall time (`wall_micros`, and the root-bound probe
+/// time `bound_micros`) never is.
 fn without_wall_micros(row: &JsonValue) -> JsonValue {
     match row {
         JsonValue::Object(fields) => JsonValue::Object(
-            fields.iter().filter(|(key, _)| key != "wall_micros").cloned().collect(),
+            fields
+                .iter()
+                .filter(|(key, _)| key != "wall_micros" && key != "bound_micros")
+                .cloned()
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -336,13 +346,13 @@ fn run_compare(args: &[String]) {
     }
     for (index, (a, b)) in a_rows.iter().zip(&b_rows).enumerate() {
         if without_wall_micros(a) != without_wall_micros(b) {
-            eprintln!("row {index} differs (ignoring wall_micros):");
+            eprintln!("row {index} differs (ignoring wall-clock fields):");
             eprintln!("  {a_path}: {}", a.render().unwrap_or_else(|e| e.to_string()));
             eprintln!("  {b_path}: {}", b.render().unwrap_or_else(|e| e.to_string()));
             std::process::exit(1);
         }
     }
-    println!("documents match: {} rows identical (wall_micros ignored)", a_rows.len());
+    println!("documents match: {} rows identical (wall-clock fields ignored)", a_rows.len());
 }
 
 /// The Table 5 grid of the seed harness: collected (it is small), printed
@@ -522,6 +532,7 @@ fn run_optimal_grid(options: &Options) {
             "results",
             JsonValue::Array(results.iter().map(engine::ScenarioResult::to_json_value).collect()),
         ),
+        ("frontier_root_bounds", frontier_root_bounds()),
     ]);
     let json = document.render().expect("results serialize");
     if let Err(error) = std::fs::write(&options.optimal_out, &json) {
@@ -538,12 +549,61 @@ fn run_optimal_grid(options: &Options) {
     }
 }
 
+/// Probes the root bounds (charge / availability / relaxation / warm
+/// start) of the alternating-load frontier fleets on the coarse grid — the
+/// machine-readable trajectory of the bound-tightening work. A `null`
+/// bound means the backend could not produce it (never expected here).
+fn frontier_root_bounds() -> JsonValue {
+    let fleets: [(&str, &[BatteryParams]); 4] = [
+        ("2xB1", &[BatteryParams::itsy_b1(); 2]),
+        ("3xB1", &[BatteryParams::itsy_b1(); 3]),
+        (
+            "2xB1+B2",
+            &[BatteryParams::itsy_b1(), BatteryParams::itsy_b1(), BatteryParams::itsy_b2()],
+        ),
+        ("4xB1", &[BatteryParams::itsy_b1(); 4]),
+    ];
+    let profile = TestLoad::IlsAlt.profile();
+    let mut rows = Vec::new();
+    println!("frontier root bounds (ILs alt, coarse grid):");
+    for (name, batteries) in fleets {
+        let fleet = FleetSpec::new(batteries.to_vec()).expect("frontier fleet spec");
+        let config = SystemConfig::from_fleet(fleet, Discretization::coarse());
+        let load = config.discretize(&profile).expect("frontier load discretizes");
+        let mut model = config.discretized_model();
+        let bounds = OptimalScheduler::probe_root_bounds(&config, &load, &mut model)
+            .expect("frontier root-bound probe");
+        println!(
+            "  {name:<8} charge {}, availability {}, relaxation {}, warm start {}",
+            bounds.charge, bounds.availability, bounds.relaxation, bounds.warm_start
+        );
+        #[allow(clippy::cast_precision_loss)]
+        let field = |steps: u64| {
+            if steps == u64::MAX {
+                JsonValue::Null
+            } else {
+                JsonValue::Number(steps as f64)
+            }
+        };
+        rows.push(JsonValue::object(vec![
+            ("fleet", JsonValue::String(name.to_owned())),
+            ("load", JsonValue::String(TestLoad::IlsAlt.name().to_owned())),
+            ("charge_steps", field(bounds.charge)),
+            ("availability_steps", field(bounds.availability)),
+            ("relaxation_steps", field(bounds.relaxation)),
+            ("warm_start_steps", field(bounds.warm_start)),
+        ]));
+    }
+    println!();
+    JsonValue::Array(rows)
+}
+
 /// Prints the result table and enforces the node ceiling over the first
 /// `ceiling_rows` rows (the rows beyond are baseline-gated frontier cells).
 fn print_and_gate(results: &[engine::ScenarioResult], max_nodes: Option<u64>, ceiling_rows: usize) {
     println!(
-        "{:<32} {:>10} {:>12} {:>9} {:>7} {:>9} {:>9}",
-        "scenario", "lifetime", "nodes", "memo", "dom", "charge", "avail"
+        "{:<32} {:>10} {:>12} {:>9} {:>7} {:>9} {:>9} {:>9}",
+        "scenario", "lifetime", "nodes", "memo", "dom", "charge", "avail", "relax"
     );
     let mut worst_nodes = 0u64;
     for (index, result) in results.iter().enumerate() {
@@ -555,7 +615,7 @@ fn print_and_gate(results: &[engine::ScenarioResult], max_nodes: Option<u64>, ce
         });
         let fmt = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_default();
         println!(
-            "{:<32} {:>10} {:>12} {:>9} {:>7} {:>9} {:>9}",
+            "{:<32} {:>10} {:>12} {:>9} {:>7} {:>9} {:>9} {:>9}",
             result.scenario.label(),
             result
                 .lifetime_minutes
@@ -566,6 +626,7 @@ fn print_and_gate(results: &[engine::ScenarioResult], max_nodes: Option<u64>, ce
             fmt(stats.map(|s| s.dominance_prunes)),
             fmt(stats.map(|s| s.charge_bound_prunes)),
             fmt(stats.map(|s| s.availability_bound_prunes)),
+            fmt(stats.map(|s| s.relax_bound_prunes)),
         );
     }
     if let Some(ceiling) = max_nodes {
@@ -580,9 +641,17 @@ fn print_and_gate(results: &[engine::ScenarioResult], max_nodes: Option<u64>, ce
     }
 }
 
+/// One gated cell of a committed baseline document: the node count the
+/// search recorded and the lifetime it proved.
+#[derive(Debug, Clone, Copy)]
+struct BaselineCell {
+    nodes: u64,
+    lifetime_minutes: Option<f64>,
+}
+
 /// Loads a committed baseline document into a `(fleet load policy
-/// backend) -> nodes_explored` map (see [`check_baseline`]).
-fn load_baseline(path: &str) -> std::collections::HashMap<String, u64> {
+/// backend) -> cell` map (see [`check_baseline`]).
+fn load_baseline(path: &str) -> std::collections::HashMap<String, BaselineCell> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(error) => {
@@ -608,7 +677,11 @@ fn load_baseline(path: &str) -> std::collections::HashMap<String, u64> {
             continue;
         };
         if let Some(nodes) = row.get("nodes_explored").and_then(JsonValue::as_u64) {
-            baseline.insert(format!("{fleet} {load} {policy} {backend}"), nodes);
+            let lifetime_minutes = row.get("lifetime_minutes").and_then(JsonValue::as_f64);
+            baseline.insert(
+                format!("{fleet} {load} {policy} {backend}"),
+                BaselineCell { nodes, lifetime_minutes },
+            );
         }
     }
     if baseline.is_empty() {
@@ -618,13 +691,21 @@ fn load_baseline(path: &str) -> std::collections::HashMap<String, u64> {
     baseline
 }
 
+/// The node-count tolerance of the baseline gate: a cell may explore up to
+/// 10 % more nodes than the committed baseline records before the gate
+/// fails. Bound and search-order changes legitimately wobble node counts by
+/// a few percent; anything past a tenth is a real regression. Lifetimes get
+/// no tolerance — a solved cell must reproduce its optimum bit-identically.
+const BASELINE_NODE_TOLERANCE_PERCENT: u64 = 10;
+
 /// Fails the run if any optimal cell explores more nodes than the committed
-/// baseline document records for the same (fleet, load, policy, backend),
-/// or if a baseline cell is no longer produced at all (a silently dropped
-/// scenario must not pass as "nothing regressed"). Cells without a
-/// baseline entry are new and noted, not gated.
+/// baseline document records for the same (fleet, load, policy, backend)
+/// plus the documented tolerance, if a cell's proven lifetime differs from
+/// the baseline's at all, or if a baseline cell is no longer produced (a
+/// silently dropped scenario must not pass as "nothing regressed"). Cells
+/// without a baseline entry are new and noted, not gated.
 fn check_baseline(
-    baseline: &std::collections::HashMap<String, u64>,
+    baseline: &std::collections::HashMap<String, BaselineCell>,
     results: &[engine::ScenarioResult],
 ) {
     let mut checked = 0usize;
@@ -633,14 +714,25 @@ fn check_baseline(
         let Some(stats) = result.search else { continue };
         let label = result.scenario.label();
         match baseline.get(&label) {
-            Some(&old) if stats.nodes_explored > old => {
-                eprintln!(
-                    "baseline regression: {label} explored {} nodes, baseline {old}",
-                    stats.nodes_explored
-                );
-                std::process::exit(2);
-            }
-            Some(_) => {
+            Some(cell) => {
+                let ceiling =
+                    cell.nodes.saturating_add(cell.nodes * BASELINE_NODE_TOLERANCE_PERCENT / 100);
+                if stats.nodes_explored > ceiling {
+                    eprintln!(
+                        "baseline regression: {label} explored {} nodes, baseline {} \
+                         (+{BASELINE_NODE_TOLERANCE_PERCENT}% ceiling {ceiling})",
+                        stats.nodes_explored, cell.nodes
+                    );
+                    std::process::exit(2);
+                }
+                if result.lifetime_minutes != cell.lifetime_minutes {
+                    eprintln!(
+                        "baseline regression: {label} proved lifetime {:?}, baseline {:?} \
+                         (solved cells must reproduce their optimum bit-identically)",
+                        result.lifetime_minutes, cell.lifetime_minutes
+                    );
+                    std::process::exit(2);
+                }
                 checked += 1;
                 seen.insert(label);
             }

@@ -160,6 +160,14 @@ impl BatteryModel for DiscretizedKibam {
         Some(table)
     }
 
+    fn column_inputs(
+        &self,
+        index: usize,
+    ) -> Option<(dkibam::DiscreteBattery, &kibam::BatteryParams, &dkibam::RecoveryTable)> {
+        let battery = self.state.batteries()[index];
+        Some((battery, self.fleet.params_of(index), self.fleet.table_of(index)))
+    }
+
     fn states_identical(&self, a: usize, b: usize) -> bool {
         self.fleet.type_of(a) == self.fleet.type_of(b)
             && self.state.batteries()[a] == self.state.batteries()[b]

@@ -24,6 +24,17 @@
 //!   search ~4× (53.6k nodes vs 208.5k, pinned in
 //!   `tests/bound_admissibility.rs`) and fires on roughly half of all
 //!   nodes there, where the charge bound fires on none,
+//! * a **relaxation upper bound** that drops only the "one battery per
+//!   draw" coupling: each battery's *exact* maximum cumulative service
+//!   through every remaining job epoch is computed by the serve/skip
+//!   dynamic program of [`dkibam::ColumnBuilder`] (full-horizon columns,
+//!   cached by `(type, state, position)` so transpositions re-solve from
+//!   the parent's cached columns rather than from scratch), and the
+//!   `relax` crate's prefix-capacity transportation relaxation couples
+//!   them through the shared demand: the closed-form min-cut walk
+//!   ([`relax::coverage_bound`]) yields an admissible death bound that is
+//!   evaluated only when the availability bound fails to fire
+//!   ([`OptimalOutcome::relax_bound_prunes`]),
 //! * **symmetry pruning** (batteries in identical states need only be tried
 //!   once),
 //! * a **transposition table** keyed by the canonicalized battery state and
@@ -36,9 +47,11 @@
 //!   ([`OptimalOutcome::dominance_prunes`]), and
 //! * **warm starting** from the best of *all* deterministic policies
 //!   (sequential, round robin, best-of-two, capacity-weighted round
-//!   robin), so the bounds are maximally effective from node 0;
-//!   [`OptimalOutcome::seeded_by`] reports which policy provided the
-//!   incumbent.
+//!   robin) *plus* an LP-rounding seed — the relaxation's optimal
+//!   fractional assignment ([`relax::max_coverage`]) rounded to one
+//!   battery per job epoch and replayed as a schedule — so the bounds are
+//!   maximally effective from node 0; [`OptimalOutcome::seeded_by`]
+//!   reports which policy provided the incumbent.
 //!
 //! The search runs on an explicit stack (no recursion) and is
 //! allocation-free per node in steady state: snapshots live in a pool
@@ -49,11 +62,13 @@
 //! converging histories (e.g. `ILs 250`, random loads, three-battery
 //! systems) shrink 5–10× under the transposition table, while short
 //! alternating loads on two batteries (`ILs alt`) are already near-minimal
-//! after symmetry pruning and only the availability bound trims them
-//! further. The 4×B1 and 22 A·min 2×B1+B2 alternating searches remain the
-//! open frontier: the availability bound's fluid relaxation is ~2× above
-//! the true optimum at the root, and both instances still exceed 200M
-//! nodes (`examples/frontier_probe.rs` measures this). The bench harness
+//! after symmetry pruning and only the availability and relaxation bounds
+//! trim them further. The availability bound alone sits ~2× above the
+//! true optimum at the root of the alternating loads; the relaxation
+//! bound's exact per-battery columns close most of that gap
+//! (`examples/frontier_probe.rs` and
+//! [`OptimalScheduler::probe_root_bounds`] measure the per-bound root
+//! tightness). The bench harness
 //! (`cargo run --release -p bench --bin scenarios -- --optimal`) prints the
 //! per-load node counts of both searches.
 //!
@@ -73,7 +88,10 @@ use crate::policy::{
 };
 use crate::system::{simulate_policy_with, SystemConfig};
 use crate::SchedError;
-use dkibam::{DiscreteEpoch, DiscretizedLoad, EnvelopeCursor, ServiceEnvelope, ServiceRateTable};
+use dkibam::{
+    ColumnBuilder, DiscreteEpoch, DiscretizedLoad, EnvelopeCursor, ServiceColumn, ServiceEnvelope,
+    ServiceRateTable,
+};
 use std::collections::HashMap; // xlint: allow(hash) -- see `FxMap` below
 use std::hash::{BuildHasherDefault, Hasher};
 use workload::LoadProfile;
@@ -174,6 +192,13 @@ const MAX_MEMO_ENTRIES: usize = 1_000_000;
 /// fronts still prune; new positions are no longer recorded.
 const MAX_FRONT_ENTRIES: usize = 500_000;
 
+/// The most cached per-battery service columns of the relaxation bound.
+/// Keyed by `(battery type, battery state, load position)`, so transposed
+/// searches re-use the exact single-battery DP solved at the parent instead
+/// of re-solving it; once full, columns are still built (into a scratch
+/// buffer) but no longer retained.
+const MAX_COLUMN_CACHE_ENTRIES: usize = 200_000;
+
 /// The result of an optimal-schedule search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptimalOutcome {
@@ -196,6 +221,10 @@ pub struct OptimalOutcome {
     /// Nodes cut by the availability-aware upper bound (recovery-coupled
     /// service envelopes) after the charge bound failed to fire.
     pub availability_bound_prunes: usize,
+    /// Nodes cut by the min-cost-flow relaxation bound (exact per-battery
+    /// service columns coupled only through the shared demand) after both
+    /// cheaper bounds failed to fire.
+    pub relax_bound_prunes: usize,
     /// The deterministic policy whose simulated lifetime seeded the warm
     /// start incumbent, or `None` if no policy produced a lifetime (the
     /// load ended before the batteries died under every policy).
@@ -217,6 +246,7 @@ pub struct OptimalScheduler {
     memoize: bool,
     dominance: bool,
     availability: bool,
+    relaxation: bool,
 }
 
 impl Default for OptimalScheduler {
@@ -227,10 +257,17 @@ impl Default for OptimalScheduler {
 
 impl OptimalScheduler {
     /// Creates a scheduler with the default node budget and all prunings
-    /// (memoization + dominance + the availability bound) enabled.
+    /// (memoization + dominance + the availability and relaxation bounds)
+    /// enabled.
     #[must_use]
     pub fn new() -> Self {
-        Self { budget: DEFAULT_BUDGET, memoize: true, dominance: true, availability: true }
+        Self {
+            budget: DEFAULT_BUDGET,
+            memoize: true,
+            dominance: true,
+            availability: true,
+            relaxation: true,
+        }
     }
 
     /// Creates a scheduler with an explicit node budget. The search fails
@@ -249,7 +286,13 @@ impl OptimalScheduler {
     /// pruned one in (far) fewer nodes.
     #[must_use]
     pub fn reference() -> Self {
-        Self { budget: DEFAULT_BUDGET, memoize: false, dominance: false, availability: false }
+        Self {
+            budget: DEFAULT_BUDGET,
+            memoize: false,
+            dominance: false,
+            availability: false,
+            relaxation: false,
+        }
     }
 
     /// Disables the transposition table (for ablation and equivalence
@@ -274,6 +317,15 @@ impl OptimalScheduler {
     #[must_use]
     pub fn without_availability_bound(mut self) -> Self {
         self.availability = false;
+        self
+    }
+
+    /// Disables the min-cost-flow relaxation bound, leaving the charge and
+    /// availability bounds (for ablation: node-count comparisons against
+    /// this scheduler isolate what the relaxation buys).
+    #[must_use]
+    pub fn without_relax_bound(mut self) -> Self {
+        self.relaxation = false;
         self
     }
 
@@ -340,16 +392,35 @@ impl OptimalScheduler {
             dominance_prunes: search.dominance_prunes,
             charge_bound_prunes: search.charge_bound_prunes,
             availability_bound_prunes: search.availability_bound_prunes,
+            relax_bound_prunes: search.relax_bound_prunes,
             seeded_by,
         })
     }
 }
 
+/// The values of the search's admissible upper bounds at the root position
+/// (fresh fleet, start of load), plus the warm-start incumbent. Each bound
+/// is a number of lifetime steps; `optimum ≤ min(bounds)` and
+/// `warm_start ≤ optimum`, so `min(bounds) − warm_start` brackets the gap
+/// the search has to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootBounds {
+    /// The usable-charge bound.
+    pub charge: u64,
+    /// The availability (recovery-coupled service envelope) bound.
+    pub availability: u64,
+    /// The min-cost-flow relaxation bound over exact per-battery service
+    /// columns, or `u64::MAX` when the backend cannot provide columns.
+    pub relaxation: u64,
+    /// The warm-start incumbent (best deterministic policy or LP rounding).
+    pub warm_start: u64,
+}
+
 impl OptimalScheduler {
-    /// Evaluates the search's two upper bounds at the root position (fresh
+    /// Evaluates the search's upper bounds at the root position (fresh
     /// fleet, start of load) without searching, plus the warm-start
-    /// incumbent: `(charge_bound, availability_bound, warm_start_steps)`.
-    /// Diagnostic API for bound-tightness tests and the bench harness.
+    /// incumbent. Diagnostic API for bound-tightness tests and the bench
+    /// harness.
     ///
     /// # Errors
     ///
@@ -358,7 +429,7 @@ impl OptimalScheduler {
         config: &SystemConfig,
         load: &DiscretizedLoad,
         model: &mut M,
-    ) -> Result<(u64, u64, u64), SchedError> {
+    ) -> Result<RootBounds, SchedError> {
         let warm = warm_start(config, load, model)?;
         let incumbent_steps = warm.steps;
         // Bounds are probed against a zeroed incumbent so they never
@@ -367,7 +438,8 @@ impl OptimalScheduler {
         let mut search = Search::new(config, load, model, OptimalScheduler::new(), probe);
         let charge = search.charge_bound(0, 0);
         let availability = search.availability_bound(0, 0, u64::MAX);
-        Ok((charge, availability, incumbent_steps))
+        let relaxation = search.relax_bound(0, 0, u64::MAX);
+        Ok(RootBounds { charge, availability, relaxation, warm_start: incumbent_steps })
     }
 }
 
@@ -378,8 +450,9 @@ struct WarmStart {
     seeded_by: Option<&'static str>,
 }
 
-/// Simulates every deterministic policy and returns the best lifetime as
-/// the search's initial incumbent, which makes the bounds maximally
+/// Simulates every deterministic policy — plus the LP-rounding plan, when
+/// the backend can produce service columns — and returns the best lifetime
+/// as the search's initial incumbent, which makes the bounds maximally
 /// effective from the first node.
 fn warm_start<M: BatteryModel>(
     config: &SystemConfig,
@@ -402,7 +475,102 @@ fn warm_start<M: BatteryModel>(
             }
         }
     }
+    if let Some(mut policy) = lp_rounding_plan(load, model) {
+        let outcome = simulate_policy_with(config, load, &mut policy, model)?;
+        if let Some(steps) = outcome.lifetime_steps() {
+            if steps > warm.steps {
+                warm.steps = steps;
+                warm.decisions = outcome.schedule().decisions();
+                warm.seeded_by = Some("lp-rounding");
+            }
+        }
+    }
     Ok(warm)
+}
+
+/// Builds the LP-rounding seed: solve the min-cost-flow relaxation over
+/// the fresh fleet's exact service columns ([`relax::max_coverage`], whose
+/// costs prefer early coverage and round-robin rotation), then round the
+/// fractional assignment to one battery per job epoch — the battery the
+/// relaxation gives the most units of that epoch to. `None` when the
+/// backend cannot produce columns (no relaxation to round).
+fn lp_rounding_plan<M: BatteryModel>(load: &DiscretizedLoad, model: &mut M) -> Option<PlanPolicy> {
+    model.reset();
+    let battery_count = model.battery_count();
+    if battery_count == 0 || battery_count > MAX_BOUND_BATTERIES {
+        return None;
+    }
+    let mut builder = ColumnBuilder::default();
+    let mut columns: Vec<Vec<u64>> = Vec::with_capacity(battery_count);
+    for battery in 0..battery_count {
+        let (state, params, recovery) = model.column_inputs(battery)?;
+        let mut column = ServiceColumn::default();
+        builder.build(state, params, recovery, load.epochs(), 0, &mut column);
+        columns.push(column.units);
+    }
+    let demands: Vec<u64> = load
+        .epochs()
+        .iter()
+        .filter(|epoch| !epoch.is_idle())
+        .map(DiscreteEpoch::total_units)
+        .collect();
+    let coverage = relax::max_coverage(&columns, &demands);
+    let plan = (0..demands.len())
+        .map(|e| {
+            let mut best = 0usize;
+            let mut best_units = 0u64;
+            for (battery, assigned) in coverage.assignment.iter().enumerate() {
+                let units = assigned.get(e).copied().unwrap_or(0);
+                if units > best_units {
+                    best_units = units;
+                    best = battery;
+                }
+            }
+            best
+        })
+        .collect();
+    Some(PlanPolicy { plan })
+}
+
+/// Replays a per-job-epoch battery plan (the rounded LP assignment). When
+/// the planned battery is unavailable, or the job continues past a battery
+/// death, it falls back to the available battery with the most available
+/// charge (ties to the lowest index), mirroring [`BestAvailable`].
+#[derive(Debug, Clone)]
+struct PlanPolicy {
+    plan: Vec<usize>,
+}
+
+impl SchedulingPolicy for PlanPolicy {
+    fn name(&self) -> &str {
+        "lp-rounding"
+    }
+
+    fn choose(&mut self, ctx: &crate::policy::DecisionContext<'_>) -> Option<usize> {
+        if !ctx.continuation {
+            if let Some(&planned) = self.plan.get(ctx.job_index) {
+                if ctx.available.contains(&planned) {
+                    return Some(planned);
+                }
+            }
+        }
+        let mut best: Option<usize> = None;
+        for &battery in ctx.available {
+            let better = match best {
+                None => true,
+                Some(current) => ctx.charges[battery]
+                    .available
+                    .total_cmp(&ctx.charges[current].available)
+                    .is_gt(),
+            };
+            if better {
+                best = Some(battery);
+            }
+        }
+        best
+    }
+
+    fn reset(&mut self) {}
 }
 
 /// One decision node on the explicit DFS stack. The frame at stack index
@@ -433,11 +601,13 @@ struct Search<'a, M: BatteryModel> {
     memoize: bool,
     dominance: bool,
     availability: bool,
+    relaxation: bool,
     nodes: usize,
     memo_hits: usize,
     dominance_prunes: usize,
     charge_bound_prunes: usize,
     availability_bound_prunes: usize,
+    relax_bound_prunes: usize,
     best_steps: u64,
     best_decisions: Vec<usize>,
     current_decisions: Vec<usize>,
@@ -468,6 +638,16 @@ struct Search<'a, M: BatteryModel> {
     fronts: FxMap<(usize, u64), Vec<(StateKey, u64)>>,
     /// Total entries across all fronts, enforcing [`MAX_FRONT_ENTRIES`].
     front_entries: usize,
+    /// The exact single-battery DP of the relaxation bound.
+    column_builder: ColumnBuilder,
+    /// Cached full-horizon service columns of the relaxation bound, keyed
+    /// by `(battery type, battery state word, epoch index, offset)`. The
+    /// full-horizon build makes the key independent of the pruning margin,
+    /// so a column solved at the parent (or any transposition) is reused
+    /// verbatim at every revisit.
+    column_cache: FxMap<(usize, u128, usize, u64), ServiceColumn>,
+    /// Per-battery scratch columns for cache misses.
+    columns_scratch: Vec<ServiceColumn>,
 }
 
 impl<'a, M: BatteryModel> Search<'a, M> {
@@ -495,11 +675,13 @@ impl<'a, M: BatteryModel> Search<'a, M> {
             memoize: scheduler.memoize,
             dominance: scheduler.dominance,
             availability: scheduler.availability,
+            relaxation: scheduler.relaxation,
             nodes: 0,
             memo_hits: 0,
             dominance_prunes: 0,
             charge_bound_prunes: 0,
             availability_bound_prunes: 0,
+            relax_bound_prunes: 0,
             best_steps: warm.steps,
             best_decisions: warm.decisions,
             current_decisions: Vec::new(),
@@ -513,6 +695,9 @@ impl<'a, M: BatteryModel> Search<'a, M> {
             seen: FxMap::default(),
             fronts: FxMap::default(),
             front_entries: 0,
+            column_builder: ColumnBuilder::default(),
+            column_cache: FxMap::default(),
+            columns_scratch: Vec::new(),
         }
     }
 }
@@ -619,11 +804,33 @@ impl<M: BatteryModel> Search<'_, M> {
         // can actually be served. Evaluated only when the (cheaper) charge
         // bound fails to fire, so the split counters attribute each prune
         // to the weakest bound that achieves it.
+        let margin = self.best_steps.saturating_sub(elapsed);
+        // Whether the availability bound landed close enough to the
+        // pruning margin that the (much costlier) relaxation bound has a
+        // realistic chance of closing the rest of the gap. When the
+        // availability walk survives past twice the margin, the relaxation
+        // — empirically within ~15 % of it at the root — will not prune
+        // either, so building columns there would be pure overhead.
+        let mut relax_worthwhile = true;
         if self.availability {
-            let margin = self.best_steps.saturating_sub(elapsed);
-            let bound = self.availability_bound(epoch_index, offset, margin);
+            // Only walk past the margin (to the gate) when the relaxation
+            // is on and the extra information is actually consumed.
+            let gate = if self.relaxation { margin.saturating_mul(2) } else { margin };
+            let bound = self.availability_bound(epoch_index, offset, gate);
             if elapsed.saturating_add(bound) <= self.best_steps {
                 self.availability_bound_prunes += 1;
+                return Ok(false);
+            }
+            relax_worthwhile = bound <= gate;
+        }
+        // Relaxation bound: exact per-battery service columns coupled only
+        // through the shared demand. The most expensive bound, so it runs
+        // last (and gated), and its counter attributes only the prunes the
+        // cheaper bounds missed.
+        if self.relaxation && relax_worthwhile {
+            let bound = self.relax_bound(epoch_index, offset, margin);
+            if elapsed.saturating_add(bound) <= self.best_steps {
+                self.relax_bound_prunes += 1;
                 return Ok(false);
             }
         }
@@ -881,6 +1088,176 @@ impl<M: BatteryModel> Search<'_, M> {
                 }
             }
             return steps + (draws_served + 1).min(draws_possible) * interval;
+        }
+        steps
+    }
+
+    /// Min-cost-flow relaxation bound on the additional lifetime obtainable
+    /// from this position. It drops only the "one battery per draw"
+    /// coupling: battery `i`'s cumulative service through job epoch `e` is
+    /// bounded by its *exact* best-case column `columns[i][e]` (the
+    /// serve/skip DP of [`ColumnBuilder`], which prices every recovery the
+    /// battery would actually need), and the fleet jointly covers each
+    /// epoch's demand. Because the columns are cumulative, the optimum of
+    /// that transportation relaxation has a closed-form min cut
+    /// ([`relax::coverage_bound`]); here the demand walk uses its epoch
+    /// form directly: the system dies in the first epoch whose cumulative
+    /// demand exceeds the summed column capacities, and the last coverable
+    /// draw inside that epoch follows from the remaining unit budget.
+    ///
+    /// A column entry depends only on the epochs up to it, so a build
+    /// truncated at the walk's early-exit horizon (the first job epoch
+    /// starting past `limit`) produces exactly the entries the walk can
+    /// read — deep nodes with small margins build short, cheap prefixes.
+    /// Cached prefixes are keyed by `(type, state word, position)` — the
+    /// key is limit-independent — and extended in place when a later visit
+    /// (e.g. after the incumbent improved) needs a longer prefix, so
+    /// revisits of a battery state solved at the parent (or any
+    /// transposition) re-use the parent's columns instead of re-running
+    /// the DP.
+    ///
+    /// Returns `u64::MAX` (no claim) when the backend cannot provide
+    /// column inputs, and may return early with any value above `limit`
+    /// once the walk has survived past it.
+    fn relax_bound(&mut self, epoch_index: usize, offset: u64, limit: u64) -> u64 {
+        let battery_count = self.model.battery_count();
+        if battery_count == 0 || battery_count > MAX_BOUND_BATTERIES {
+            return u64::MAX;
+        }
+        // The build horizon: `needed` job-epoch entries, covered by the
+        // first `span` timeline epochs. Mirrors the walk below exactly —
+        // each job epoch is counted iff the walk would reach its check.
+        let mut needed = 0usize;
+        let mut span = 0usize;
+        {
+            let mut steps_ahead: u64 = 0;
+            let mut walk_offset = offset;
+            for (index, epoch) in self.epochs[epoch_index..].iter().enumerate() {
+                let duration = epoch.duration_steps() - walk_offset;
+                walk_offset = 0;
+                if !epoch.is_idle() {
+                    if steps_ahead > limit {
+                        break;
+                    }
+                    needed += 1;
+                    span = index + 1;
+                }
+                steps_ahead += duration;
+            }
+        }
+        if self.columns_scratch.len() < battery_count {
+            self.columns_scratch.resize_with(battery_count, ServiceColumn::default);
+        }
+        let mut keys = [(0usize, 0u128, 0usize, 0u64); MAX_BOUND_BATTERIES];
+        let mut from_scratch = [false; MAX_BOUND_BATTERIES];
+        let mut alive: u64 = 0;
+        for battery in 0..battery_count {
+            let Some((state, params, recovery)) = self.model.column_inputs(battery) else {
+                return u64::MAX;
+            };
+            alive += u64::from(!state.is_observed_empty());
+            let key = (self.model.type_of(battery), state.state_word(), epoch_index, offset);
+            keys[battery] = key;
+            if self.column_cache.get(&key).is_some_and(|cached| cached.len() >= needed) {
+                continue;
+            }
+            self.column_builder.build(
+                state,
+                params,
+                recovery,
+                &self.epochs[epoch_index..epoch_index + span],
+                offset,
+                &mut self.columns_scratch[battery],
+            );
+            let under_cap = self.column_cache.len() < MAX_COLUMN_CACHE_ENTRIES;
+            match self.column_cache.get_mut(&key) {
+                // Extending an existing prefix never adds an entry, so it
+                // is allowed even at the cache cap.
+                Some(cached) => cached.clone_from_column(&self.columns_scratch[battery]),
+                None if under_cap => {
+                    self.column_cache.insert(key, self.columns_scratch[battery].clone());
+                }
+                None => from_scratch[battery] = true,
+            }
+        }
+        let empty = ServiceColumn::default();
+        let mut columns: [&ServiceColumn; MAX_BOUND_BATTERIES] = [&empty; MAX_BOUND_BATTERIES];
+        for battery in 0..battery_count {
+            columns[battery] = if from_scratch[battery] {
+                &self.columns_scratch[battery]
+            } else {
+                self.column_cache.get(&keys[battery]).unwrap_or(&empty)
+            };
+        }
+        // Flat extension of a cumulative column past its end (the prefix
+        // build covers every epoch the walk can reach before its early
+        // exit, so this is defensive only).
+        let entry = |column: &[u64], index: usize| {
+            column.get(index).or_else(|| column.last()).copied().unwrap_or(0)
+        };
+
+        let mut cumulative_demand: u64 = 0;
+        let mut whole_epochs: u64 = 0;
+        let mut steps: u64 = 0;
+        let mut offset = offset;
+        let mut job_epoch = 0usize;
+        for epoch in &self.epochs[epoch_index..] {
+            let whole = offset == 0;
+            let duration = epoch.duration_steps() - offset;
+            offset = 0;
+            if epoch.is_idle() {
+                steps += duration;
+                continue;
+            }
+            if steps > limit {
+                return steps;
+            }
+            let interval = u64::from(epoch.draw_interval_steps());
+            let units = u64::from(epoch.units_per_draw());
+            let draws_possible = duration / interval;
+            let epoch_demand = draws_possible * units;
+            let capacity: u64 = columns[..battery_count]
+                .iter()
+                .map(|column| entry(&column.units, job_epoch))
+                .fold(0, u64::saturating_add);
+            let mut death: Option<u64> = None;
+            if cumulative_demand.saturating_add(epoch_demand) > capacity {
+                // The relaxed fleet dies in this epoch: it can cover
+                // `capacity − cumulative_demand` more units, i.e. that many
+                // whole draws, and survives one draw interval past the last
+                // covered draw (or to the first draw, if none).
+                let draws_served = capacity.saturating_sub(cumulative_demand) / units;
+                death = Some(steps + (draws_served + 1).min(draws_possible) * interval);
+            }
+            // Serialization cut: of the `whole_epochs` whole job epochs so
+            // far, at most `alive` can be split between batteries (every
+            // mid-epoch handoff consumes one of the remaining deaths); the
+            // rest must each be served whole by a single battery, and
+            // `Σ full_epochs` caps how many whole serves the fleet has.
+            // The fractional LP may still split a whole serve across
+            // batteries, so this is the relaxation's integral face — it is
+            // what keeps the bound from degenerating to the charge budget
+            // on fresh fleets, where per-unit capacity is plentiful but
+            // serialized epoch coverage is not.
+            if whole && epoch_demand > 0 {
+                whole_epochs += 1;
+                let full_serves: u64 = columns[..battery_count]
+                    .iter()
+                    .map(|column| entry(&column.full_epochs, job_epoch))
+                    .fold(0, u64::saturating_add);
+                if whole_epochs.saturating_sub(alive) > full_serves {
+                    // Some prior whole epoch cannot be fully covered; the
+                    // system dies by this epoch's last draw at the latest.
+                    let at_last_draw = steps + draws_possible * interval;
+                    death = Some(death.map_or(at_last_draw, |d| d.min(at_last_draw)));
+                }
+            }
+            if let Some(death) = death {
+                return death;
+            }
+            cumulative_demand += epoch_demand;
+            steps += duration;
+            job_epoch += 1;
         }
         steps
     }

@@ -45,16 +45,26 @@ fn random_profiles(seeds: &[u64]) -> Vec<LoadProfile> {
     seeds.iter().map(|&seed| spec.generate(seed).unwrap()).collect()
 }
 
-/// The admissibility triple: exact lifetime against the reference search,
-/// node count no worse than the availability-ablated search, and a root
-/// bound at or above the optimum.
+/// The admissibility suite for one instance: exact lifetime against the
+/// reference search under every bound ablation, node-count monotonicity
+/// as bounds are added (charge-only ⊇ availability ⊇ relaxation), and
+/// root bounds at or above the optimum.
 fn assert_admissible(config: &SystemConfig, profile: &LoadProfile, label: &str) {
     let reference = OptimalScheduler::reference().find_optimal(config, profile).unwrap();
     let with_bound = OptimalScheduler::new().find_optimal(config, profile).unwrap();
-    let without_bound =
-        OptimalScheduler::new().without_availability_bound().find_optimal(config, profile).unwrap();
+    let without_relax =
+        OptimalScheduler::new().without_relax_bound().find_optimal(config, profile).unwrap();
+    let without_bound = OptimalScheduler::new()
+        .without_relax_bound()
+        .without_availability_bound()
+        .find_optimal(config, profile)
+        .unwrap();
     assert_eq!(
         with_bound.lifetime_steps, reference.lifetime_steps,
+        "{label}: the relaxation bound changed the optimum"
+    );
+    assert_eq!(
+        without_relax.lifetime_steps, reference.lifetime_steps,
         "{label}: the availability bound changed the optimum"
     );
     assert_eq!(
@@ -62,9 +72,15 @@ fn assert_admissible(config: &SystemConfig, profile: &LoadProfile, label: &str) 
         "{label}: the charge-only search changed the optimum"
     );
     assert!(
-        with_bound.nodes_explored <= without_bound.nodes_explored,
-        "{label}: the availability bound grew the search ({} vs {})",
+        with_bound.nodes_explored <= without_relax.nodes_explored,
+        "{label}: the relaxation bound grew the search ({} vs {})",
         with_bound.nodes_explored,
+        without_relax.nodes_explored
+    );
+    assert!(
+        without_relax.nodes_explored <= without_bound.nodes_explored,
+        "{label}: the availability bound grew the search ({} vs {})",
+        without_relax.nodes_explored,
         without_bound.nodes_explored
     );
     // The decision sequence replays to the exact optimum.
@@ -77,15 +93,24 @@ fn assert_admissible(config: &SystemConfig, profile: &LoadProfile, label: &str) 
     // condition, checked directly against the exact answer).
     let load = config.discretize(profile).unwrap();
     let mut model = config.discretized_model();
-    let (charge, availability, warm) =
-        OptimalScheduler::probe_root_bounds(config, &load, &mut model).unwrap();
+    let bounds = OptimalScheduler::probe_root_bounds(config, &load, &mut model).unwrap();
     assert!(
-        availability >= reference.lifetime_steps,
-        "{label}: availability root bound {availability} underestimates the optimum {}",
+        bounds.availability >= reference.lifetime_steps,
+        "{label}: availability root bound {} underestimates the optimum {}",
+        bounds.availability,
         reference.lifetime_steps
     );
-    assert!(charge >= reference.lifetime_steps, "{label}: charge root bound underestimates");
-    assert!(warm <= reference.lifetime_steps, "{label}: the warm start can never beat the optimum");
+    assert!(bounds.charge >= reference.lifetime_steps, "{label}: charge root bound underestimates");
+    assert!(
+        bounds.relaxation >= reference.lifetime_steps,
+        "{label}: relaxation root bound {} underestimates the optimum {}",
+        bounds.relaxation,
+        reference.lifetime_steps
+    );
+    assert!(
+        bounds.warm_start <= reference.lifetime_steps,
+        "{label}: the warm start can never beat the optimum"
+    );
 }
 
 #[test]
@@ -126,24 +151,31 @@ fn three_battery_bound_is_admissible() {
 
 /// The frontier golden: 3×B1 on the alternating load. The charge bound
 /// never fires here (the load strands ~70 % of the charge), so the whole
-/// reduction against the availability-ablated search is the new bound's
-/// doing. Values are pinned exactly — node counts are deterministic.
+/// reduction against the charge-only search is the availability and
+/// relaxation bounds' doing. Values are pinned exactly — node counts are
+/// deterministic.
 #[test]
 fn three_b1_alternating_frontier_is_pinned() {
     let config = coarse_uniform(3);
     let profile = TestLoad::IlsAlt.profile();
-    let with_bound = OptimalScheduler::new().find_optimal(&config, &profile).unwrap();
-    let without_bound = OptimalScheduler::new()
+    let full = OptimalScheduler::new().find_optimal(&config, &profile).unwrap();
+    let without_relax =
+        OptimalScheduler::new().without_relax_bound().find_optimal(&config, &profile).unwrap();
+    let charge_only = OptimalScheduler::new()
+        .without_relax_bound()
         .without_availability_bound()
         .find_optimal(&config, &profile)
         .unwrap();
-    assert_eq!(with_bound.lifetime_steps, 740, "3xB1 ILs alt optimum (coarse grid)");
-    assert_eq!(with_bound.lifetime_steps, without_bound.lifetime_steps);
-    assert_eq!(with_bound.nodes_explored, 53_595, "availability-bounded node count");
-    assert_eq!(without_bound.nodes_explored, 208_504, "charge-only node count");
-    assert_eq!(with_bound.charge_bound_prunes, 0, "the charge bound never fires on ILs alt");
-    assert!(with_bound.availability_bound_prunes > 20_000, "the new bound carries the search");
-    assert_eq!(with_bound.seeded_by, Some("round robin"));
+    assert_eq!(full.lifetime_steps, 740, "3xB1 ILs alt optimum (coarse grid)");
+    assert_eq!(full.lifetime_steps, without_relax.lifetime_steps);
+    assert_eq!(full.lifetime_steps, charge_only.lifetime_steps);
+    assert_eq!(full.nodes_explored, 22_923, "relaxation-bounded node count");
+    assert_eq!(without_relax.nodes_explored, 53_595, "availability-bounded node count");
+    assert_eq!(charge_only.nodes_explored, 208_504, "charge-only node count");
+    assert_eq!(full.charge_bound_prunes, 0, "the charge bound never fires on ILs alt");
+    assert!(full.availability_bound_prunes > 5_000, "the availability bound still fires first");
+    assert!(full.relax_bound_prunes > 5_000, "the relaxation bound carries the rest");
+    assert_eq!(full.seeded_by, Some("round robin"));
 }
 
 /// The 2×B1 alternating-load root bound, pinned: the availability bound
@@ -154,9 +186,15 @@ fn alternating_root_bounds_are_pinned() {
     let config = coarse_uniform(2);
     let load = config.discretize(&TestLoad::IlsAlt.profile()).unwrap();
     let mut model = config.discretized_model();
-    let (charge, availability, warm) =
-        OptimalScheduler::probe_root_bounds(&config, &load, &mut model).unwrap();
-    assert_eq!(charge, 1140);
-    assert_eq!(availability, 650);
-    assert_eq!(warm, 328);
+    let bounds = OptimalScheduler::probe_root_bounds(&config, &load, &mut model).unwrap();
+    assert_eq!(bounds.charge, 1140);
+    assert_eq!(bounds.availability, 650);
+    assert!(
+        bounds.relaxation < bounds.availability,
+        "the relaxation root bound ({}) must tighten the availability bound (650)",
+        bounds.relaxation
+    );
+    assert!(bounds.relaxation >= 330, "the relaxation bound must stay above the 330-step optimum");
+    assert!(bounds.warm_start >= 328, "LP rounding must not lose to the old policy seeds");
+    assert!(bounds.warm_start <= 330);
 }

@@ -20,6 +20,10 @@
 //!   battery type (the Eq. 8 frontier per charge level plus the fastest
 //!   recovery rate on the serviceable band), feeding the availability-aware
 //!   search bound of the `battery-sched` crate;
+//! * [`ColumnBuilder`] — exact per-battery service columns over a load's
+//!   draw-slot timeline (a serve/skip dynamic program with Pareto-front
+//!   pruning), the column generator of the `relax` crate's min-cost-flow
+//!   relaxation bound;
 //! * [`DiscreteBattery`] — the integer battery state (`n_gamma`, `m_delta`)
 //!   with discharge, recovery and the emptiness test of Eq. 8;
 //! * [`DiscretizedLoad`] — a [`workload::LoadProfile`] converted to the
@@ -63,6 +67,7 @@
 pub mod batch;
 mod battery;
 pub mod checked;
+mod column;
 mod config;
 mod error;
 mod fleet;
@@ -74,6 +79,7 @@ pub mod sim;
 
 pub use batch::DiscreteBatch;
 pub use battery::DiscreteBattery;
+pub use column::{ColumnBuilder, ServiceColumn, DEFAULT_FRONT_CAP};
 pub use config::Discretization;
 pub use error::DkibamError;
 pub use fleet::DiscreteFleet;

@@ -20,9 +20,10 @@ use crate::batch::{BatchDiscreteView, BatchRvView};
 use crate::json::JsonValue;
 use crate::spec::{BackendKind, PolicyKind, Scenario, ScenarioSpec};
 use crate::EngineError;
-use battery_sched::optimal::OptimalScheduler;
+use battery_sched::optimal::{OptimalOutcome, OptimalScheduler, RootBounds};
 use battery_sched::policy::FixedSchedule;
 use battery_sched::system::{simulate_policy_with, SystemConfig, SystemOutcome};
+use battery_sched::BatteryModel;
 use kibam::BatteryParams;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
@@ -59,6 +60,9 @@ pub struct SearchStats {
     pub charge_bound_prunes: u64,
     /// Nodes cut by the availability-aware (recovery-coupled) upper bound.
     pub availability_bound_prunes: u64,
+    /// Nodes cut by the min-cost-flow relaxation bound over exact
+    /// per-battery service columns.
+    pub relax_bound_prunes: u64,
 }
 
 /// The measured outcome of one scenario.
@@ -84,6 +88,14 @@ pub struct ScenarioResult {
     /// The deterministic policy that seeded the search's warm-start
     /// incumbent, for [`PolicyKind::Optimal`] scenarios.
     pub seeded_by: Option<String>,
+    /// The search's upper bounds evaluated at the root position, for
+    /// [`PolicyKind::Optimal`] scenarios (the per-bound tightness record
+    /// the bench artifacts archive).
+    pub root_bounds: Option<RootBounds>,
+    /// Wall-clock cost of constructing and evaluating the root bounds in
+    /// microseconds, for [`PolicyKind::Optimal`] scenarios. Measurement
+    /// noise like `wall_micros`: excluded from artifact comparison.
+    pub bound_micros: Option<u64>,
 }
 
 impl ScenarioResult {
@@ -125,13 +137,42 @@ impl ScenarioResult {
                     "availability_bound_prunes",
                     JsonValue::Number(stats.availability_bound_prunes as f64),
                 ),
+                ("relax_bound_prunes", JsonValue::Number(stats.relax_bound_prunes as f64)),
             ]);
         }
         if let Some(seeded_by) = &self.seeded_by {
             fields.push(("seeded_by", JsonValue::String(seeded_by.clone())));
         }
+        if let Some(bounds) = self.root_bounds {
+            fields.push(("root_bounds", root_bounds_to_json(bounds)));
+        }
+        #[allow(clippy::cast_precision_loss)]
+        if let Some(micros) = self.bound_micros {
+            fields.push(("bound_micros", JsonValue::Number(micros as f64)));
+        }
         JsonValue::object(fields)
     }
+}
+
+/// Renders [`RootBounds`] as a JSON object. A bound of `u64::MAX` means
+/// "the backend cannot evaluate this bound" (e.g. the relaxation needs
+/// service columns only the discretized backend provides) and is rendered
+/// as `null`, not as a number.
+fn root_bounds_to_json(bounds: RootBounds) -> JsonValue {
+    #[allow(clippy::cast_precision_loss)]
+    let steps = |value: u64| {
+        if value == u64::MAX {
+            JsonValue::Null
+        } else {
+            JsonValue::Number(value as f64)
+        }
+    };
+    JsonValue::object(vec![
+        ("charge", steps(bounds.charge)),
+        ("availability", steps(bounds.availability)),
+        ("relaxation", steps(bounds.relaxation)),
+        ("warm_start", steps(bounds.warm_start)),
+    ])
 }
 
 /// Renders a full result set (spec + per-scenario results) as a JSON
@@ -273,6 +314,22 @@ pub fn run_scenario_with_cache(
     execute_scalar(scenario, system, &load)
 }
 
+/// Probes the root bounds (timed — this is where the bound construction
+/// cost of an optimal cell lives) and then runs the search, on one backend.
+fn probe_and_search<M: BatteryModel>(
+    scheduler: &OptimalScheduler,
+    config: &SystemConfig,
+    load: &dkibam::DiscretizedLoad,
+    model: &mut M,
+) -> Result<(RootBounds, u64, OptimalOutcome), battery_sched::SchedError> {
+    // xlint: allow(clock) -- bound_micros is measurement-only, excluded from --compare
+    let start = Instant::now();
+    let bounds = OptimalScheduler::probe_root_bounds(config, load, model)?;
+    let bound_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let outcome = scheduler.find_optimal_with(config, load, model)?;
+    Ok((bounds, bound_micros, outcome))
+}
+
 /// Runs one prepared scenario on the cached scalar backend instances (the
 /// non-batched path: optimal searches and the continuous/ideal backends, and
 /// the reference the batched path is held bit-identical to).
@@ -283,47 +340,49 @@ fn execute_scalar(
 ) -> Result<ScenarioResult, EngineError> {
     // xlint: allow(clock) -- wall_micros is measurement-only, excluded from --compare
     let start = Instant::now();
-    let (outcome, lifetime_minutes, search, seeded_by) = match scenario.policy {
-        PolicyKind::Optimal { budget } => {
-            let scheduler = OptimalScheduler::with_budget(budget);
-            let optimal = match scenario.backend {
-                BackendKind::Discretized => {
-                    scheduler.find_optimal_with(&system.config, load, &mut system.discretized)?
-                }
-                BackendKind::Continuous => {
-                    scheduler.find_optimal_with(&system.config, load, &mut system.continuous)?
-                }
-                BackendKind::Rv => {
-                    scheduler.find_optimal_with(&system.config, load, &mut system.rv)?
-                }
-                BackendKind::Ideal => {
-                    scheduler.find_optimal_with(&system.config, load, &mut system.ideal)?
-                }
-            };
-            // Replay the optimal decision sequence to recover the residual
-            // charge and switch counts the deterministic cells report.
-            let mut replay = FixedSchedule::new(optimal.decisions.clone());
-            let outcome = simulate_on_backend(system, scenario.backend, load, &mut replay)?;
-            let stats = SearchStats {
-                nodes_explored: optimal.nodes_explored as u64,
-                memo_hits: optimal.memo_hits as u64,
-                dominance_prunes: optimal.dominance_prunes as u64,
-                charge_bound_prunes: optimal.charge_bound_prunes as u64,
-                availability_bound_prunes: optimal.availability_bound_prunes as u64,
-            };
-            let minutes = optimal.lifetime_minutes(&system.config);
-            let seeded_by = optimal.seeded_by.map(str::to_owned);
-            (outcome, Some(minutes), Some(stats), seeded_by)
-        }
-        _ => {
-            let mut policy =
+    let (outcome, lifetime_minutes, search, seeded_by, root_bounds, bound_micros) =
+        match scenario.policy {
+            PolicyKind::Optimal { budget } => {
+                let scheduler = OptimalScheduler::with_budget(budget);
+                let (bounds, bound_micros, optimal) = match scenario.backend {
+                    BackendKind::Discretized => {
+                        probe_and_search(&scheduler, &system.config, load, &mut system.discretized)?
+                    }
+                    BackendKind::Continuous => {
+                        probe_and_search(&scheduler, &system.config, load, &mut system.continuous)?
+                    }
+                    BackendKind::Rv => {
+                        probe_and_search(&scheduler, &system.config, load, &mut system.rv)?
+                    }
+                    BackendKind::Ideal => {
+                        probe_and_search(&scheduler, &system.config, load, &mut system.ideal)?
+                    }
+                };
+                // Replay the optimal decision sequence to recover the residual
+                // charge and switch counts the deterministic cells report.
+                let mut replay = FixedSchedule::new(optimal.decisions.clone());
+                let outcome = simulate_on_backend(system, scenario.backend, load, &mut replay)?;
+                let stats = SearchStats {
+                    nodes_explored: optimal.nodes_explored as u64,
+                    memo_hits: optimal.memo_hits as u64,
+                    dominance_prunes: optimal.dominance_prunes as u64,
+                    charge_bound_prunes: optimal.charge_bound_prunes as u64,
+                    availability_bound_prunes: optimal.availability_bound_prunes as u64,
+                    relax_bound_prunes: optimal.relax_bound_prunes as u64,
+                };
+                let minutes = optimal.lifetime_minutes(&system.config);
+                let seeded_by = optimal.seeded_by.map(str::to_owned);
+                (outcome, Some(minutes), Some(stats), seeded_by, Some(bounds), Some(bound_micros))
+            }
+            _ => {
+                let mut policy =
                 // xlint: allow(panic) -- every non-optimal PolicyKind constructs infallibly
                 scenario.policy.build().expect("non-optimal policies always instantiate");
-            let outcome = simulate_on_backend(system, scenario.backend, load, policy.as_mut())?;
-            let minutes = outcome.lifetime_minutes();
-            (outcome, minutes, None, None)
-        }
-    };
+                let outcome = simulate_on_backend(system, scenario.backend, load, policy.as_mut())?;
+                let minutes = outcome.lifetime_minutes();
+                (outcome, minutes, None, None, None, None)
+            }
+        };
     let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     Ok(ScenarioResult {
@@ -335,6 +394,8 @@ fn execute_scalar(
         wall_micros,
         search,
         seeded_by,
+        root_bounds,
+        bound_micros,
     })
 }
 
@@ -397,6 +458,8 @@ fn deterministic_result(
         wall_micros,
         search: None,
         seeded_by: None,
+        root_bounds: None,
+        bound_micros: None,
     })
 }
 

@@ -97,7 +97,7 @@ impl Report {
 pub fn context_for_crate(name: &str) -> CrateContext {
     match name {
         "bench" | "xlint" => CrateContext::aux(),
-        "kibam" | "dkibam" | "rv" | "core" => {
+        "kibam" | "dkibam" | "rv" | "core" | "relax" => {
             CrateContext { deterministic: true, panic_free: true, cast_audit: true }
         }
         _ => CrateContext { deterministic: true, panic_free: true, cast_audit: false },

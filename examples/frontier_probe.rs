@@ -1,28 +1,27 @@
 //! Probes the alternating-load search frontier: root upper bounds and
-//! branch-and-bound node counts, with and without the availability bound.
+//! branch-and-bound node counts under each bound ablation.
 //!
 //! The `ILs alt` load strands ~70 % of the fleet's charge, so the charge
 //! bound wildly overestimates the remaining lifetime and 3+-battery
 //! searches historically relied on state-space reduction alone. This probe
 //! prints, for each fleet,
 //!
-//! * the root values of both upper bounds next to the warm-start incumbent
-//!   (how tight is the bound before a single node is explored?), and
-//! * the full search with the availability bound against the
-//!   availability-ablated search (what does the bound buy in nodes?).
+//! * the root values of all three upper bounds (charge, availability,
+//!   min-cost-flow relaxation) next to the warm-start incumbent (how tight
+//!   is each bound before a single node is explored?), and
+//! * the full search (relaxation on) against the relaxation-ablated and
+//!   the charge-only searches (what does each bound buy in nodes?).
 //!
 //! ```text
 //! cargo run --release --example frontier_probe [NODE_BUDGET] [--smoke]
 //! ```
 //!
-//! The default budget keeps the probe fast; pass a larger budget (the
-//! 4×B1 and 2×B1+B2 fleets exceed 200M nodes even with the availability
-//! bound — the open frontier in ROADMAP.md) to measure how far a search
-//! gets before giving up. `--smoke` restricts the searches to the
-//! frontier-*contained* fleets (2×B1 and 3×B1, ≤ ~210k nodes) so CI can
-//! exercise the probe end-to-end in seconds while the 200M-node open
-//! probes stay out of the pipeline; the root-bound table still covers
-//! every fleet (bounds are a few policy simulations, not searches).
+//! The default budget keeps the probe fast; pass a larger budget to
+//! measure how far a search gets before giving up. `--smoke` restricts
+//! the searches to the cheap fleets (2×B1 and 3×B1) so CI can exercise
+//! the probe end-to-end in seconds; the root-bound table still covers
+//! every fleet (bounds are a few policy simulations plus one relaxation
+//! solve, not searches).
 
 use battery_sched::optimal::OptimalScheduler;
 use battery_sched::system::SystemConfig;
@@ -70,29 +69,38 @@ fn main() {
     for (name, config) in &cases {
         let discretized = config.discretize(&load).unwrap();
         let mut model = config.discretized_model();
-        let (charge, avail, warm) =
-            OptimalScheduler::probe_root_bounds(config, &discretized, &mut model).unwrap();
-        println!("  {name:>8}: charge {charge}, availability {avail}, warm start {warm}");
+        let bounds = OptimalScheduler::probe_root_bounds(config, &discretized, &mut model).unwrap();
+        println!(
+            "  {name:>8}: charge {}, availability {}, relaxation {}, warm start {}",
+            bounds.charge, bounds.availability, bounds.relaxation, bounds.warm_start
+        );
     }
 
     println!("\nsearches (budget {budget} nodes):");
     let searched: &[(&str, SystemConfig)] = if smoke { &cases[..2] } else { &cases[..] };
     for (name, config) in searched {
         for (which, scheduler) in [
-            ("avail", OptimalScheduler::with_budget(budget)),
-            ("charge", OptimalScheduler::with_budget(budget).without_availability_bound()),
+            ("relax", OptimalScheduler::with_budget(budget)),
+            ("avail", OptimalScheduler::with_budget(budget).without_relax_bound()),
+            (
+                "charge",
+                OptimalScheduler::with_budget(budget)
+                    .without_relax_bound()
+                    .without_availability_bound(),
+            ),
         ] {
             let start = Instant::now();
             match scheduler.find_optimal(config, &load) {
                 Ok(outcome) => println!(
                     "  {name:>8} {which:>6}: {} steps, {} nodes, memo {}, dom {}, charge {}, \
-                     avail {}, seeded {:?}, {:.2?}",
+                     avail {}, relax {}, seeded {:?}, {:.2?}",
                     outcome.lifetime_steps,
                     outcome.nodes_explored,
                     outcome.memo_hits,
                     outcome.dominance_prunes,
                     outcome.charge_bound_prunes,
                     outcome.availability_bound_prunes,
+                    outcome.relax_bound_prunes,
                     outcome.seeded_by,
                     start.elapsed()
                 ),
