@@ -69,8 +69,8 @@ use battery_sched::system::SystemConfig;
 use dkibam::Discretization;
 use engine::json::JsonValue;
 use engine::{
-    results_from_json, results_to_json, run_grid_streaming_sharded, run_grid_with_threads,
-    BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, ScenarioSpec,
+    results_from_json, results_to_json, BackendKind, BatterySpec, DiscSpec, FleetDef, GridRun,
+    LoadSpec, PolicyKind, ScenarioSpec,
 };
 use kibam::{BatteryParams, FleetSpec};
 use std::time::Instant;
@@ -362,7 +362,7 @@ fn run_paper_grid(options: &Options) {
     println!("paper grid: {} scenarios", spec.scenario_count());
 
     let start = Instant::now();
-    let results = match run_grid_with_threads(&spec, options.threads) {
+    let results = match GridRun::new(&spec).threads(options.threads).collect() {
         Ok(results) => results,
         Err(error) => {
             eprintln!("paper grid failed: {error}");
@@ -446,7 +446,7 @@ fn write_and_gate(
 /// the `BENCH_optimal.json` gate.
 fn run_gated_grid(options: &Options, spec: &ScenarioSpec, what: &str, out_path: &str) {
     let start = Instant::now();
-    let results = match run_grid_with_threads(spec, options.threads) {
+    let results = match GridRun::new(spec).threads(options.threads).collect() {
         Ok(results) => results,
         Err(error) => {
             eprintln!("{what} failed: {error}");
@@ -505,14 +505,14 @@ fn run_optimal_grid(options: &Options) {
     );
 
     let start = Instant::now();
-    let mut results = match run_grid_with_threads(&spec, options.threads) {
+    let mut results = match GridRun::new(&spec).threads(options.threads).collect() {
         Ok(results) => results,
         Err(error) => {
             eprintln!("optimal grid failed: {error}");
             std::process::exit(1);
         }
     };
-    match run_grid_with_threads(&frontier, options.threads) {
+    match GridRun::new(&frontier).threads(options.threads).collect() {
         Ok(frontier_results) => results.extend(frontier_results),
         Err(error) => {
             eprintln!("optimal frontier failed: {error}");
@@ -874,14 +874,14 @@ fn run_crossmodel_grid(options: &Options) {
     );
 
     let start = Instant::now();
-    let ranking_results = match run_grid_with_threads(&ranking_spec, options.threads) {
+    let ranking_results = match GridRun::new(&ranking_spec).threads(options.threads).collect() {
         Ok(results) => results,
         Err(error) => {
             eprintln!("cross-model ranking grid failed: {error}");
             std::process::exit(1);
         }
     };
-    let optimal_results = match run_grid_with_threads(&optimal_spec, options.threads) {
+    let optimal_results = match GridRun::new(&optimal_spec).threads(options.threads).collect() {
         Ok(results) => results,
         Err(error) => {
             eprintln!("cross-model optimal grid failed: {error}");
@@ -1049,7 +1049,14 @@ fn run_random_grid(options: &Options, cells: usize) {
         }
     };
     let start = Instant::now();
-    match run_grid_streaming_sharded(&spec, options.threads, options.chunk, options.shard, file) {
+    let mut run = GridRun::new(&spec).threads(options.threads);
+    if let Some(chunk) = options.chunk {
+        run = run.chunk(chunk);
+    }
+    if let Some((index, count)) = options.shard {
+        run = run.shard(index, count);
+    }
+    match run.stream(file) {
         Ok(summary) => {
             let wall = start.elapsed();
             #[allow(clippy::cast_precision_loss)]
@@ -1215,7 +1222,7 @@ fn run_analyze(options: &Options) {
         backends: vec![BackendKind::Discretized],
     };
     let start = Instant::now();
-    let results = match run_grid_with_threads(&sub_spec, options.threads) {
+    let results = match GridRun::new(&sub_spec).threads(options.threads).collect() {
         Ok(results) => results,
         Err(error) => {
             eprintln!("optimal sub-grid failed: {error}");

@@ -61,15 +61,17 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 mod batch;
 pub mod json;
 mod runner;
 mod spec;
 
+pub use api::{ErrorCode, GridRun, Request, RequestClass, Response, ServeError};
 pub use runner::{
     results_from_json, results_to_json, run_grid, run_grid_streaming, run_grid_streaming_sharded,
     run_grid_with_threads, run_scenario, run_scenario_with_cache, ScenarioResult, SearchStats,
-    StreamSummary, StreamingResultWriter, WorkerCache,
+    SharedCacheStats, SharedSystemCache, StreamSummary, StreamingResultWriter, WorkerCache,
 };
 pub use spec::{
     BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, Scenario, ScenarioSpec,

@@ -28,14 +28,14 @@ use kibam::BatteryParams;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Scenarios per work chunk. Large enough to amortize the claim, the
 /// per-chunk channel send and the batch-kernel packing, small enough to keep
 /// workers balanced and the streaming reorder window shallow.
-const DEFAULT_CHUNK_SIZE: usize = 16;
+pub(crate) const DEFAULT_CHUNK_SIZE: usize = 16;
 
 /// Scenarios per chunk when the caller asks for auto-sizing (`chunk_size`
 /// `Some(0)`, the scenarios CLI's `--chunk 0`). The heuristic targets about
@@ -43,7 +43,7 @@ const DEFAULT_CHUNK_SIZE: usize = 16;
 /// clamped to `1..=DEFAULT_CHUNK_SIZE` — small grids shrink to one scenario
 /// per claim (maximum balance), huge grids stop at the default so the
 /// streaming reorder window and the per-chunk batch stay shallow.
-fn auto_chunk_size(grid: usize, workers: usize) -> usize {
+pub(crate) fn auto_chunk_size(grid: usize, workers: usize) -> usize {
     grid.div_ceil(workers.max(1) * 4).clamp(1, DEFAULT_CHUNK_SIZE)
 }
 
@@ -218,14 +218,14 @@ pub fn results_from_json(text: &str) -> Result<(ScenarioSpec, Vec<JsonValue>), E
 /// fleet plus the discretization, all by exact bit pattern (hence `Ord`:
 /// the cache is a `BTreeMap`, so worker behavior is order-deterministic).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct SystemKey {
+pub(crate) struct SystemKey {
     batteries: Vec<(u64, u64, u64)>,
     time_step: u64,
     charge_unit: u64,
 }
 
 impl SystemKey {
-    fn of(scenario: &Scenario) -> Self {
+    pub(crate) fn of(scenario: &Scenario) -> Self {
         Self {
             batteries: scenario
                 .fleet
@@ -242,8 +242,10 @@ impl SystemKey {
 /// A validated system configuration with ready-built backends. The
 /// discretized backend owns the recovery table, which is the expensive part
 /// (`O(N)` log evaluations); grids that sweep loads or policies against one
-/// battery setup reuse it across every cell a worker claims.
-#[derive(Debug)]
+/// battery setup reuse it across every cell a worker claims. Cloning copies
+/// the tables but never recomputes them, which is what lets the shared cache
+/// hand out working copies of a prototype built exactly once.
+#[derive(Debug, Clone)]
 struct CachedSystem {
     config: SystemConfig,
     discretized: battery_sched::backends::DiscretizedKibam,
@@ -252,15 +254,137 @@ struct CachedSystem {
     ideal: battery_sched::backends::IdealBattery,
 }
 
+/// Builds a fresh validated system (parameters, discretization and all four
+/// backends, including the expensive recovery/service/RV step tables).
+fn build_system(scenario: &Scenario) -> Result<CachedSystem, EngineError> {
+    let fleet = scenario.fleet.to_fleet_spec()?;
+    let disc = scenario.disc.to_discretization()?;
+    let config = SystemConfig::from_fleet(fleet, disc);
+    let discretized = config.discretized_model();
+    let continuous = config.continuous_model();
+    let rv = config.rv_model();
+    let ideal = config.ideal_model();
+    Ok(CachedSystem { config, discretized, continuous, rv, ideal })
+}
+
+/// Lock shards of the process-wide cache. Eight shards keep write contention
+/// on distinct systems negligible for any realistic worker count while the
+/// per-shard map stays a deterministic `BTreeMap`.
+const CACHE_SHARDS: usize = 8;
+
+/// Point-in-time counters of a [`SharedSystemCache`], for service telemetry
+/// (`BENCH_serve.json` exposes them so a repeated request provably reuses
+/// the tables built by the first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Distinct systems currently cached.
+    pub systems: usize,
+    /// Lookups answered from the cache (tables *not* rebuilt).
+    pub hits: u64,
+    /// Lookups that had to build the tables (at most one per distinct
+    /// system, ever).
+    pub builds: u64,
+}
+
+/// A process-wide concurrent cache of validated systems, sharded by the
+/// fleet/discretization bit-pattern key.
+///
+/// Per-worker [`WorkerCache`]s attached via [`WorkerCache::with_shared`]
+/// consult it before building tables, so recovery tables, service-rate
+/// tables and RV step tables are computed **once per `(fleet,
+/// discretization)` across all requests ever**, no matter how many workers
+/// or connections ask. Readers share an `RwLock` per shard; a miss builds
+/// under the shard's write lock, which is what guarantees the once-ever
+/// property the hit/build counters advertise.
+#[derive(Debug, Default)]
+pub struct SharedSystemCache {
+    shards: Vec<RwLock<BTreeMap<SystemKey, Arc<CachedSystem>>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl SharedSystemCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard a key lives in: a deterministic fold of the key's bit
+    /// patterns (no hasher involved, so the mapping is stable across runs).
+    fn shard_of(key: &SystemKey) -> usize {
+        let mut acc = key.time_step ^ key.charge_unit.rotate_left(17);
+        for &(capacity, c, k_prime) in &key.batteries {
+            acc = acc.rotate_left(7) ^ capacity ^ c.rotate_left(23) ^ k_prime.rotate_left(41);
+        }
+        usize::try_from(acc % CACHE_SHARDS as u64).unwrap_or(0)
+    }
+
+    /// Returns the cached prototype for `key`, building it (once, under the
+    /// shard write lock) on the first request.
+    fn get_or_build(
+        &self,
+        key: &SystemKey,
+        scenario: &Scenario,
+    ) -> Result<Arc<CachedSystem>, EngineError> {
+        let shard = &self.shards[Self::shard_of(key)];
+        {
+            let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(system) = guard.get(key) {
+                // ordering: Relaxed — statistics counter, not a synchronization edge.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(system));
+            }
+        }
+        let mut guard = shard.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(system) = guard.get(key) {
+            // Another worker built it between our read and write locks.
+            // ordering: Relaxed — statistics counter, not a synchronization edge.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(system));
+        }
+        let system = Arc::new(build_system(scenario)?);
+        // ordering: Relaxed — statistics counter, not a synchronization edge.
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        guard.insert(key.clone(), Arc::clone(&system));
+        Ok(system)
+    }
+
+    /// Current hit/build counters and the number of cached systems.
+    #[must_use]
+    pub fn stats(&self) -> SharedCacheStats {
+        let systems = self
+            .shards
+            .iter()
+            .map(|shard| shard.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum();
+        SharedCacheStats {
+            systems,
+            // ordering: Relaxed — statistics counter, not a synchronization edge.
+            hits: self.hits.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistics counter, not a synchronization edge.
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Per-worker cache of validated system configurations.
 ///
 /// [`run_scenario`] rebuilds battery parameters, discretization and —
 /// costliest — the recovery table for every cell; workers hold one of these
 /// so large grids that vary only load/policy/backend pay table construction
-/// once per worker instead of once per cell.
+/// once per worker instead of once per cell. A worker cache attached to a
+/// [`SharedSystemCache`] goes one step further: its misses clone a shared
+/// prototype instead of rebuilding tables, so construction happens once per
+/// system across the whole process.
 #[derive(Debug, Default)]
 pub struct WorkerCache {
     systems: BTreeMap<SystemKey, CachedSystem>,
+    shared: Option<Arc<SharedSystemCache>>,
 }
 
 impl WorkerCache {
@@ -270,18 +394,22 @@ impl WorkerCache {
         Self::default()
     }
 
+    /// Creates an empty cache backed by a process-wide shared cache: local
+    /// misses consult (and fill) `shared` before building tables.
+    #[must_use]
+    pub fn with_shared(shared: Arc<SharedSystemCache>) -> Self {
+        Self { systems: BTreeMap::new(), shared: Some(shared) }
+    }
+
     fn system(&mut self, scenario: &Scenario) -> Result<&mut CachedSystem, EngineError> {
         match self.systems.entry(SystemKey::of(scenario)) {
             Entry::Occupied(entry) => Ok(entry.into_mut()),
             Entry::Vacant(entry) => {
-                let fleet = scenario.fleet.to_fleet_spec()?;
-                let disc = scenario.disc.to_discretization()?;
-                let config = SystemConfig::from_fleet(fleet, disc);
-                let discretized = config.discretized_model();
-                let continuous = config.continuous_model();
-                let rv = config.rv_model();
-                let ideal = config.ideal_model();
-                Ok(entry.insert(CachedSystem { config, discretized, continuous, rv, ideal }))
+                let system = match &self.shared {
+                    Some(shared) => (*shared.get_or_build(entry.key(), scenario)?).clone(),
+                    None => build_system(scenario)?,
+                };
+                Ok(entry.insert(system))
             }
         }
     }
@@ -470,7 +598,7 @@ fn deterministic_result(
 /// each member's outcome at its chunk offset.
 fn run_batched_group(
     scenarios: &[Scenario],
-    loads: &[(dkibam::DiscretizedLoad, bool)],
+    loads: &[Option<(dkibam::DiscretizedLoad, bool)>],
     backend: BackendKind,
     members: &[usize],
     cache: &mut WorkerCache,
@@ -501,6 +629,8 @@ fn run_batched_group(
             let mut batch = dkibam::DiscreteBatch::with_capacity(fleet.len() * members.len());
             let lanes: Vec<_> = members.iter().map(|_| batch.push_fleet(fleet)).collect();
             for (&offset, lanes) in members.iter().zip(lanes) {
+                // Members are drawn from prepared cells, so the load exists.
+                let Some((load, _)) = &loads[offset] else { continue };
                 let scenario = &scenarios[offset];
                 // xlint: allow(clock) -- wall_micros is measurement-only, excluded from --compare
                 let start = Instant::now();
@@ -508,12 +638,8 @@ fn run_batched_group(
                     // xlint: allow(panic) -- batching already filtered out optimal-policy cells
                     scenario.policy.build().expect("batched cells never run the optimal policy");
                 let mut view = BatchDiscreteView::new(&mut batch, lanes, fleet, &type_params);
-                let outcome = simulate_policy_with(
-                    &system.config,
-                    &loads[offset].0,
-                    policy.as_mut(),
-                    &mut view,
-                );
+                let outcome =
+                    simulate_policy_with(&system.config, load, policy.as_mut(), &mut view);
                 outcomes[offset] = Some(deterministic_result(scenario, outcome, start));
             }
         }
@@ -522,6 +648,8 @@ fn run_batched_group(
             let mut batch = rv::RvBatch::with_capacity(fleet.len() * members.len());
             let lanes: Vec<_> = members.iter().map(|_| batch.push_fleet(fleet)).collect();
             for (&offset, lanes) in members.iter().zip(lanes) {
+                // Members are drawn from prepared cells, so the load exists.
+                let Some((load, _)) = &loads[offset] else { continue };
                 let scenario = &scenarios[offset];
                 // xlint: allow(clock) -- wall_micros is measurement-only, excluded from --compare
                 let start = Instant::now();
@@ -529,12 +657,8 @@ fn run_batched_group(
                     // xlint: allow(panic) -- batching already filtered out optimal-policy cells
                     scenario.policy.build().expect("batched cells never run the optimal policy");
                 let mut view = BatchRvView::new(&mut batch, lanes, fleet);
-                let outcome = simulate_policy_with(
-                    &system.config,
-                    &loads[offset].0,
-                    policy.as_mut(),
-                    &mut view,
-                );
+                let outcome =
+                    simulate_policy_with(&system.config, load, policy.as_mut(), &mut view);
                 outcomes[offset] = Some(deterministic_result(scenario, outcome, start));
             }
         }
@@ -545,50 +669,58 @@ fn run_batched_group(
     }
 }
 
-/// Runs one chunk of scenarios against the worker's cache: loads and system
-/// tables are prepared in chunk order first (stopping at the first setup
-/// error), then batchable scenarios are grouped by `(system, backend)` and
-/// stepped on shared struct-of-arrays batches while the rest run on the
-/// scalar path. Results come back in chunk order up to the first error, so
-/// the grid-order contract of the runner is preserved exactly.
-fn run_chunk(scenarios: &[Scenario], cache: &mut WorkerCache) -> ChunkOutput {
-    // Prepare pass, in chunk order: validate the system (building and
-    // caching its tables) and discretize the load.
-    let mut prepared: Vec<(dkibam::DiscretizedLoad, bool)> = Vec::with_capacity(scenarios.len());
-    let mut setup_error = None;
+/// Runs every scenario of a slice against the worker's cache, each cell
+/// **independently**: one failing cell does not stop its siblings. This is
+/// the execution core shared by the grid path (which truncates at the first
+/// error, see [`run_chunk`]) and the request path ([`crate::api`], where
+/// every request deserves its own answer).
+///
+/// Loads and system tables are prepared per cell first, then batchable
+/// scenarios are grouped by `(system, backend)` and stepped on shared
+/// struct-of-arrays batches — this grouping is also what micro-batches
+/// compatible service requests into one kernel pass — while the rest run on
+/// the scalar path. Results come back in slice order, one per scenario.
+pub(crate) fn run_cells(
+    scenarios: &[Scenario],
+    cache: &mut WorkerCache,
+) -> Vec<Result<ScenarioResult, EngineError>> {
+    // Prepare pass: validate the system (building and caching its tables)
+    // and discretize the load; a setup failure becomes that cell's result.
+    let mut outcomes: Vec<Option<Result<ScenarioResult, EngineError>>> =
+        (0..scenarios.len()).map(|_| None).collect();
+    let mut prepared: Vec<Option<(dkibam::DiscretizedLoad, bool)>> =
+        Vec::with_capacity(scenarios.len());
     for (offset, scenario) in scenarios.iter().enumerate() {
         let load = scenario.load.profile().and_then(|profile| {
             let system = cache.system(scenario)?;
             Ok(system.config.discretize(&profile)?)
         });
         match load {
-            Ok(load) => prepared.push((load, is_batchable(scenario))),
+            Ok(load) => prepared.push(Some((load, is_batchable(scenario)))),
             Err(error) => {
-                setup_error = Some((offset, error));
-                break;
+                outcomes[offset] = Some(Err(error));
+                prepared.push(None);
             }
         }
     }
 
     // Execute pass. Scalar scenarios first (each borrows the cache mutably),
     // then the batched groups.
-    let mut outcomes: Vec<Option<Result<ScenarioResult, EngineError>>> =
-        (0..prepared.len()).map(|_| None).collect();
-    for (offset, scenario) in scenarios.iter().take(prepared.len()).enumerate() {
-        if prepared[offset].1 {
+    for (offset, scenario) in scenarios.iter().enumerate() {
+        let Some((load, batchable)) = &prepared[offset] else { continue };
+        if *batchable {
             continue;
         }
-        let outcome = cache
-            .system(scenario)
-            .and_then(|system| execute_scalar(scenario, system, &prepared[offset].0));
+        let outcome =
+            cache.system(scenario).and_then(|system| execute_scalar(scenario, system, load));
         outcomes[offset] = Some(outcome);
     }
     // Group by cached system and backend, in first-appearance order; chunks
-    // hold at most DEFAULT_CHUNK_SIZE scenarios, so a linear scan is cheaper
-    // than hashing.
+    // hold at most DEFAULT_CHUNK_SIZE scenarios (and service micro-batches
+    // stay similarly small), so a linear scan is cheaper than hashing.
     let mut groups: Vec<(SystemKey, BackendKind, Vec<usize>)> = Vec::new();
-    for (offset, scenario) in scenarios.iter().take(prepared.len()).enumerate() {
-        if !prepared[offset].1 {
+    for (offset, scenario) in scenarios.iter().enumerate() {
+        if !matches!(&prepared[offset], Some((_, true))) {
             continue;
         }
         let key = SystemKey::of(scenario);
@@ -601,22 +733,29 @@ fn run_chunk(scenarios: &[Scenario], cache: &mut WorkerCache) -> ChunkOutput {
         run_batched_group(scenarios, &prepared, backend, &members, cache, &mut outcomes);
     }
 
-    // Chunk-order prefix up to the first error (setup errors sit past every
-    // prepared scenario, so they come last in chunk order by construction).
-    let mut results = Vec::with_capacity(prepared.len());
+    outcomes
+        .into_iter()
+        .map(|outcome| {
+            // xlint: allow(panic) -- the prepare/scalar/batched passes above fill every slot
+            outcome.expect("every scenario is executed")
+        })
+        .collect()
+}
+
+/// Runs one chunk of scenarios with **grid semantics**: results in chunk
+/// order up to the first error, so the grid-order contract of the runner is
+/// preserved exactly.
+fn run_chunk(scenarios: &[Scenario], cache: &mut WorkerCache) -> ChunkOutput {
+    let mut results = Vec::with_capacity(scenarios.len());
     let mut error = None;
-    for (offset, outcome) in outcomes.into_iter().enumerate() {
-        // xlint: allow(panic) -- the scalar/batched passes above fill every slot
-        match outcome.expect("every prepared scenario is executed") {
+    for (offset, outcome) in run_cells(scenarios, cache).into_iter().enumerate() {
+        match outcome {
             Ok(result) => results.push(result),
             Err(e) => {
                 error = Some((offset, e));
                 break;
             }
         }
-    }
-    if error.is_none() {
-        error = setup_error;
     }
     ChunkOutput { results, error }
 }
@@ -632,14 +771,23 @@ struct ChunkMessage {
 }
 
 /// Outcome of a chunked grid execution.
-struct ChunkedOutcome {
+pub(crate) struct ChunkedOutcome {
     /// How many scenarios actually executed (including the failing one).
     /// With the poison flag, this stays far below the grid size when an
     /// early cell fails. Asserted by tests; not part of the public API.
     #[cfg_attr(not(test), allow(dead_code))]
-    executed: usize,
+    pub(crate) executed: usize,
     /// The first error in grid order, if any.
-    error: Option<EngineError>,
+    pub(crate) error: Option<EngineError>,
+}
+
+/// Builds the worker-local cache for one grid worker: attached to the
+/// process-wide cache when the run carries one, standalone otherwise.
+fn worker_cache(shared: Option<&Arc<SharedSystemCache>>) -> WorkerCache {
+    match shared {
+        Some(shared) => WorkerCache::with_shared(Arc::clone(shared)),
+        None => WorkerCache::new(),
+    }
 }
 
 /// Runs `scenarios` on `threads` workers in contiguous chunks, feeding
@@ -648,10 +796,11 @@ struct ChunkedOutcome {
 /// output stream died) poisons the claim cursor exactly like a scenario
 /// error does. On poison, in-flight chunks finish, no new chunks start, and
 /// the sink stops receiving.
-fn run_chunked(
+pub(crate) fn run_chunked(
     scenarios: &[Scenario],
     threads: usize,
     chunk_size: usize,
+    shared: Option<&Arc<SharedSystemCache>>,
     mut sink: impl FnMut(ScenarioResult) -> bool,
 ) -> ChunkedOutcome {
     let workers = threads.max(1).min(scenarios.len().max(1));
@@ -660,7 +809,7 @@ fn run_chunked(
     if workers <= 1 || scenarios.len() <= chunk_size {
         // Inline execution: grid order is the execution order. Chunks still
         // apply so the inline path batches exactly like workers do.
-        let mut cache = WorkerCache::new();
+        let mut cache = worker_cache(shared);
         let mut executed = 0;
         for chunk in scenarios.chunks(chunk_size) {
             let output = run_chunk(chunk, &mut cache);
@@ -687,8 +836,9 @@ fn run_chunked(
             let sender = sender.clone();
             let next = &next;
             let poison = &poison;
+            let shared = shared.map(Arc::clone);
             scope.spawn(move || {
-                let mut cache = WorkerCache::new();
+                let mut cache = worker_cache(shared.as_ref());
                 loop {
                     // ordering: Acquire pairs with the poison Release stores below.
                     if poison.load(Ordering::Acquire) {
@@ -763,8 +913,7 @@ fn run_chunked(
 ///
 /// Returns the first scenario error encountered (in grid order).
 pub fn run_grid(spec: &ScenarioSpec) -> Result<Vec<ScenarioResult>, EngineError> {
-    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    run_grid_with_threads(spec, threads)
+    crate::api::GridRun::new(spec).collect()
 }
 
 /// Like [`run_grid`] with an explicit worker count (1 runs inline). A
@@ -778,16 +927,7 @@ pub fn run_grid_with_threads(
     spec: &ScenarioSpec,
     threads: usize,
 ) -> Result<Vec<ScenarioResult>, EngineError> {
-    let scenarios = spec.expand();
-    let mut results = Vec::with_capacity(scenarios.len());
-    let outcome = run_chunked(&scenarios, threads, DEFAULT_CHUNK_SIZE, |r| {
-        results.push(r);
-        true
-    });
-    match outcome.error {
-        Some(error) => Err(error),
-        None => Ok(results),
-    }
+    crate::api::GridRun::new(spec).threads(threads).collect()
 }
 
 /// Summary of a streamed grid run.
@@ -878,6 +1018,11 @@ pub fn run_grid_streaming<W: Write>(
     run_grid_streaming_sharded(spec, threads, chunk_size, None, out)
 }
 
+/// The default worker count of a grid run: one per available CPU.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
 /// Like [`run_grid_streaming`], restricted to one **shard** of the grid:
 /// `Some((index, count))` runs the contiguous expanded-grid index range
 /// `[index·len/count, (index+1)·len/count)`, so `count` processes — each
@@ -898,44 +1043,14 @@ pub fn run_grid_streaming_sharded<W: Write>(
     shard: Option<(usize, usize)>,
     out: W,
 ) -> Result<StreamSummary, EngineError> {
-    let scenarios = spec.expand();
-    let (start, end) = match shard {
-        Some((index, count)) => {
-            if count == 0 || index >= count {
-                return Err(EngineError::InvalidSpec(format!(
-                    "shard {index}/{count} is out of range"
-                )));
-            }
-            let len = scenarios.len() as u128;
-            let at = |i: usize| usize::try_from(len * i as u128 / count as u128).unwrap_or(0);
-            (at(index), at(index + 1))
-        }
-        None => (0, scenarios.len()),
-    };
-    let scenarios = &scenarios[start..end];
-    let mut writer = StreamingResultWriter::new(out, spec)?;
-    let mut io_error: Option<EngineError> = None;
-    let outcome =
-        run_chunked(scenarios, threads, chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE), |result| {
-            match writer.push(&result) {
-                Ok(()) => true,
-                Err(error) => {
-                    // Returning `false` poisons the grid, so a dead output
-                    // stream aborts the sweep instead of running it out.
-                    io_error = Some(error);
-                    false
-                }
-            }
-        });
-    if let Some(error) = outcome.error {
-        return Err(error);
+    let mut run = crate::api::GridRun::new(spec).threads(threads);
+    if let Some(chunk) = chunk_size {
+        run = run.chunk(chunk);
     }
-    if let Some(error) = io_error {
-        return Err(error);
+    if let Some((index, count)) = shard {
+        run = run.shard(index, count);
     }
-    let written = writer.written();
-    writer.finish()?;
-    Ok(StreamSummary { written })
+    run.stream(out)
 }
 
 #[cfg(test)]
@@ -1242,13 +1357,13 @@ mod tests {
 
         // Single worker: exactly one cell executes before the poison stops
         // the claim loop.
-        let outcome = run_chunked(&scenarios, 1, 16, |_| true);
+        let outcome = run_chunked(&scenarios, 1, 16, None, |_| true);
         assert!(outcome.error.is_some());
         assert_eq!(outcome.executed, 1);
 
         // Multiple workers: in-flight chunks may finish, but the grid never
         // runs to completion.
-        let outcome = run_chunked(&scenarios, 4, 16, |_| true);
+        let outcome = run_chunked(&scenarios, 4, 16, None, |_| true);
         assert!(outcome.error.is_some());
         assert!(
             outcome.executed < scenarios.len() / 2,
@@ -1267,7 +1382,7 @@ mod tests {
 
         // Inline path: execution stops within the chunk whose first result
         // is refused (scenarios are executed one chunk at a time).
-        let outcome = run_chunked(&scenarios, 1, 16, |_| false);
+        let outcome = run_chunked(&scenarios, 1, 16, None, |_| false);
         assert!(outcome.error.is_none());
         assert!(
             outcome.executed <= 16,
@@ -1277,7 +1392,7 @@ mod tests {
 
         // Parallel path: in-flight chunks may finish, but the grid never
         // runs to completion.
-        let outcome = run_chunked(&scenarios, 4, 16, |_| false);
+        let outcome = run_chunked(&scenarios, 4, 16, None, |_| false);
         assert!(outcome.error.is_none());
         assert!(
             outcome.executed < scenarios.len() / 2,

@@ -66,7 +66,7 @@ impl BatterySpec {
         Ok(BatteryParams::new(self.capacity, self.c, self.k_prime)?)
     }
 
-    fn to_json(&self) -> JsonValue {
+    pub(crate) fn to_json(&self) -> JsonValue {
         JsonValue::object(vec![
             ("name", JsonValue::String(self.name.clone())),
             ("capacity", JsonValue::Number(self.capacity)),
@@ -75,7 +75,7 @@ impl BatterySpec {
         ])
     }
 
-    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+    pub(crate) fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
         Ok(Self {
             name: require_str(value, "name")?.to_owned(),
             capacity: require_f64(value, "capacity")?,
@@ -142,7 +142,7 @@ impl FleetDef {
         Ok(FleetSpec::new(params)?)
     }
 
-    fn to_json(&self) -> JsonValue {
+    pub(crate) fn to_json(&self) -> JsonValue {
         JsonValue::object(vec![
             ("name", JsonValue::String(self.name.clone())),
             (
@@ -152,7 +152,7 @@ impl FleetDef {
         ])
     }
 
-    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+    pub(crate) fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
         Ok(Self {
             name: require_str(value, "name")?.to_owned(),
             batteries: require_array(value, "batteries")?
@@ -203,14 +203,14 @@ impl DiscSpec {
             .map_err(battery_sched::SchedError::from)?)
     }
 
-    fn to_json(self) -> JsonValue {
+    pub(crate) fn to_json(self) -> JsonValue {
         JsonValue::object(vec![
             ("time_step", JsonValue::Number(self.time_step)),
             ("charge_unit", JsonValue::Number(self.charge_unit)),
         ])
     }
 
-    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+    pub(crate) fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
         Ok(Self {
             time_step: require_f64(value, "time_step")?,
             charge_unit: require_f64(value, "charge_unit")?,
@@ -290,7 +290,7 @@ impl PolicyKind {
         }
     }
 
-    fn to_json(self) -> JsonValue {
+    pub(crate) fn to_json(self) -> JsonValue {
         match self {
             PolicyKind::Optimal { budget } => {
                 #[allow(clippy::cast_precision_loss)]
@@ -304,7 +304,7 @@ impl PolicyKind {
         }
     }
 
-    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+    pub(crate) fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
         if let Some(name) = value.as_str() {
             return Self::from_name(name);
         }
@@ -322,7 +322,7 @@ impl PolicyKind {
         }
     }
 
-    fn from_name(name: &str) -> Result<Self, EngineError> {
+    pub(crate) fn from_name(name: &str) -> Result<Self, EngineError> {
         if name == "optimal" {
             return Ok(PolicyKind::optimal());
         }
@@ -374,7 +374,7 @@ impl BackendKind {
         }
     }
 
-    fn from_name(name: &str) -> Result<Self, EngineError> {
+    pub(crate) fn from_name(name: &str) -> Result<Self, EngineError> {
         BackendKind::all()
             .into_iter()
             .find(|b| b.name() == name)
@@ -472,7 +472,7 @@ impl LoadSpec {
         }
     }
 
-    fn to_json(&self) -> JsonValue {
+    pub(crate) fn to_json(&self) -> JsonValue {
         match self {
             LoadSpec::Paper(load) => JsonValue::object(vec![
                 ("kind", JsonValue::String("paper".to_owned())),
@@ -518,7 +518,7 @@ impl LoadSpec {
         }
     }
 
-    fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+    pub(crate) fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
         match require_str(value, "kind")? {
             "paper" => {
                 let name = require_str(value, "name")?;
@@ -809,15 +809,15 @@ impl Scenario {
     }
 }
 
-fn missing(key: &str) -> EngineError {
+pub(crate) fn missing(key: &str) -> EngineError {
     EngineError::InvalidSpec(format!("missing or mistyped field '{key}'"))
 }
 
-fn require_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, EngineError> {
+pub(crate) fn require_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, EngineError> {
     value.get(key).and_then(JsonValue::as_str).ok_or_else(|| missing(key))
 }
 
-fn require_f64(value: &JsonValue, key: &str) -> Result<f64, EngineError> {
+pub(crate) fn require_f64(value: &JsonValue, key: &str) -> Result<f64, EngineError> {
     value.get(key).and_then(JsonValue::as_f64).ok_or_else(|| missing(key))
 }
 

@@ -1,0 +1,193 @@
+//! Service counters and the `BENCH_serve.json` artifact model.
+
+use engine::json::JsonValue;
+use engine::SharedCacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Process-wide service counters. All counters are statistics: they relax
+/// ordering and never feed back into results.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests submitted to the queue (including ones refused at
+    /// admission).
+    requests: AtomicU64,
+    /// Requests answered with a result row.
+    ok: AtomicU64,
+    /// Requests answered with a protocol or engine error.
+    errors: AtomicU64,
+    /// Requests refused because the queue was full or shutting down.
+    overloaded: AtomicU64,
+    /// Micro-batched engine calls made by workers.
+    batches: AtomicU64,
+    /// Requests answered through those calls.
+    batched_requests: AtomicU64,
+    /// Queue-to-answer latencies in microseconds.
+    latencies: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a submitted request.
+    pub fn request(&self) {
+        // ordering: Relaxed — statistics counter.
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an answered request and its latency.
+    pub fn answered(&self, ok: bool, latency_micros: u64) {
+        let counter = if ok { &self.ok } else { &self.errors };
+        // ordering: Relaxed — statistics counter.
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.latencies.lock().unwrap_or_else(PoisonError::into_inner).push(latency_micros);
+    }
+
+    /// Counts a request refused as overloaded.
+    pub fn overloaded(&self) {
+        // ordering: Relaxed — statistics counter.
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one micro-batched engine call answering `requests` requests.
+    pub fn batch(&self, requests: u64) {
+        // ordering: Relaxed — statistics counter.
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — statistics counter.
+        self.batched_requests.fetch_add(requests, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latencies = self.latencies.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        latencies.sort_unstable();
+        // ordering: Relaxed — statistics counters.
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: read(&self.requests),
+            ok: read(&self.ok),
+            errors: read(&self.errors),
+            overloaded: read(&self.overloaded),
+            batches: read(&self.batches),
+            batched_requests: read(&self.batched_requests),
+            latencies,
+        }
+    }
+}
+
+/// A frozen view of the counters with sorted latencies, ready for
+/// percentile queries and artifact rendering.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests answered with a result row.
+    pub ok: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Requests refused as overloaded.
+    pub overloaded: u64,
+    /// Micro-batched engine calls.
+    pub batches: u64,
+    /// Requests answered through those calls.
+    pub batched_requests: u64,
+    /// Sorted queue-to-answer latencies in microseconds.
+    pub latencies: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// The nearest-rank percentile of the recorded latencies (`p` in
+    /// `0..=100`), or 0 with no samples.
+    #[must_use]
+    pub fn latency_percentile(&self, p: u64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let len = self.latencies.len() as u64;
+        let rank = (p * len).div_ceil(100).clamp(1, len);
+        let index = usize::try_from(rank - 1).unwrap_or(0);
+        self.latencies[index]
+    }
+
+    /// Renders the `serve-bench-v1` artifact document.
+    #[must_use]
+    pub fn to_bench_json(&self, throughput_rps: f64, cache: &SharedCacheStats) -> JsonValue {
+        #[allow(clippy::cast_precision_loss)]
+        let count = |value: u64| JsonValue::Number(value as f64);
+        JsonValue::object(vec![
+            ("schema", JsonValue::String("serve-bench-v1".to_owned())),
+            ("requests", count(self.requests)),
+            ("ok", count(self.ok)),
+            ("errors", count(self.errors)),
+            ("overloaded", count(self.overloaded)),
+            ("throughput_rps", JsonValue::Number(throughput_rps)),
+            (
+                "latency_micros",
+                JsonValue::object(vec![
+                    ("p50", count(self.latency_percentile(50))),
+                    ("p90", count(self.latency_percentile(90))),
+                    ("p99", count(self.latency_percentile(99))),
+                    ("max", count(self.latencies.last().copied().unwrap_or(0))),
+                ]),
+            ),
+            (
+                "cache",
+                JsonValue::object(vec![
+                    ("systems", count(cache.systems as u64)),
+                    ("hits", count(cache.hits)),
+                    ("builds", count(cache.builds)),
+                ]),
+            ),
+            ("batches", count(self.batches)),
+            ("batched_requests", count(self.batched_requests)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let metrics = Metrics::new();
+        for latency in [50, 10, 40, 30, 20] {
+            metrics.answered(true, latency);
+        }
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.latencies, vec![10, 20, 30, 40, 50]);
+        assert_eq!(snapshot.latency_percentile(50), 30);
+        assert_eq!(snapshot.latency_percentile(90), 50);
+        assert_eq!(snapshot.latency_percentile(99), 50);
+        assert_eq!(snapshot.latency_percentile(0), 10);
+        assert_eq!(snapshot.latency_percentile(100), 50);
+        assert_eq!(MetricsSnapshot { latencies: vec![], ..snapshot }.latency_percentile(50), 0);
+    }
+
+    #[test]
+    fn bench_document_carries_all_counters() {
+        let metrics = Metrics::new();
+        metrics.request();
+        metrics.request();
+        metrics.answered(true, 100);
+        metrics.answered(false, 200);
+        metrics.overloaded();
+        metrics.batch(2);
+        let snapshot = metrics.snapshot();
+        let cache = SharedCacheStats { systems: 1, hits: 5, builds: 1 };
+        let json = snapshot.to_bench_json(123.5, &cache).render().unwrap();
+        assert!(json.contains("\"schema\":\"serve-bench-v1\""));
+        assert!(json.contains("\"requests\":2"));
+        assert!(json.contains("\"ok\":1"));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"overloaded\":1"));
+        assert!(json.contains("\"throughput_rps\":123.5"));
+        assert!(json.contains("\"builds\":1"));
+        assert!(json.contains("\"batched_requests\":2"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The self-contained smoke benchmark behind `served --smoke`.
+//!
+//! Fires a mixed burst — uniform and mixed fleets, all four backends, one
+//! coarse-grid optimal cell — through an in-process [`Server`] over
+//! in-memory I/O, repeats it so the process-wide cache gets exercised, and
+//! summarizes throughput, latency percentiles and cache counters in the
+//! `serve-bench-v1` document CI archives as `BENCH_serve.json`.
+
+use crate::config::ServeConfig;
+use crate::server::Server;
+use engine::json::JsonValue;
+use engine::SharedCacheStats;
+use std::time::Instant;
+
+/// How often the base burst is replayed. Every replay after the first must
+/// be answered entirely from the process-wide system cache.
+const REPEATS: usize = 4;
+
+/// The base burst: valid requests covering every backend, both request
+/// classes, a mixed fleet and one coarse-grid optimal search.
+const BURST: [&str; 8] = [
+    r#"{"battery":"B1","count":2,"load":"CL 500","policy":"round-robin"}"#,
+    r#"{"battery":"B1","count":2,"load":"ILs 500","policy":"best-of-two"}"#,
+    r#"{"battery":"B1","count":2,"load":"ILs alt","policy":"sequential"}"#,
+    r#"{"battery":"B2","count":2,"load":"CL 250","policy":"round-robin"}"#,
+    r#"{"fleet":{"name":"B1+B2","batteries":[{"name":"B1","capacity":5.5,"c":0.166,"k_prime":0.122},{"name":"B2","capacity":11.0,"c":0.166,"k_prime":0.122}]},"load":"CL 500","policy":"capacity-rr"}"#,
+    r#"{"battery":"B1","count":2,"load":"ILs 250","policy":"round-robin","backend":"continuous"}"#,
+    r#"{"battery":"B1","count":2,"load":"CL 500","policy":"round-robin","backend":"rv"}"#,
+    r#"{"class":"batch","battery":"B1","count":2,"disc":"coarse","load":"CL 500","policy":{"kind":"optimal","budget":20000000}}"#,
+];
+
+/// The smoke run's verdict: counters plus the rendered artifact document.
+#[derive(Debug, Clone)]
+pub struct SmokeSummary {
+    /// Requests fired.
+    pub requests: usize,
+    /// Responses with a result row.
+    pub ok: usize,
+    /// Responses with an error.
+    pub errors: usize,
+    /// Sustained throughput over the whole burst, in requests/second.
+    pub throughput_rps: f64,
+    /// Process-wide cache counters after the run.
+    pub cache: SharedCacheStats,
+    /// The rendered `serve-bench-v1` document.
+    pub bench_json: String,
+}
+
+/// Runs the smoke burst against an in-process server and checks its
+/// correctness invariants (every request answered OK, tables built once
+/// per system, replays served from cache). The throughput gate is the
+/// caller's job — write the artifact first, then gate.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated invariant.
+pub fn run_smoke(config: &ServeConfig) -> Result<SmokeSummary, String> {
+    // Keep batches smaller than the burst so replays land in later batches
+    // and the shared-cache hit counters are exercised deterministically.
+    let mut config = config.clone();
+    config.batch_max = config.batch_max.min(BURST.len());
+    let config = &config;
+
+    let mut input = String::new();
+    for repeat in 0..REPEATS {
+        for (index, request) in BURST.iter().enumerate() {
+            // Stamp a unique id into each line by rewriting the opening
+            // brace; ids prove every response reaches its caller.
+            let id = repeat * BURST.len() + index;
+            input.push_str(&format!("{{\"id\":{id},"));
+            input.push_str(&request[1..]);
+            input.push('\n');
+        }
+    }
+    let expected = REPEATS * BURST.len();
+
+    let server = Server::start(config.clone());
+    let mut output: Vec<u8> = Vec::new();
+    // xlint: allow(clock) -- throughput measurement only.
+    let started = Instant::now();
+    server
+        .serve_connection(input.as_bytes(), &mut output)
+        .map_err(|error| format!("smoke connection failed: {error}"))?;
+    let elapsed = started.elapsed();
+    server.shutdown();
+
+    let text =
+        String::from_utf8(output).map_err(|error| format!("smoke output is not UTF-8: {error}"))?;
+    let mut ok = 0;
+    let mut answered_ids = Vec::new();
+    for line in text.lines() {
+        let response = JsonValue::parse(line)
+            .map_err(|error| format!("unparseable response line '{line}': {error}"))?;
+        match response.get("status").and_then(JsonValue::as_str) {
+            Some("ok") => ok += 1,
+            Some("error") => return Err(format!("smoke burst got an error response: {line}")),
+            _ => return Err(format!("response without a status: {line}")),
+        }
+        let id = response
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("response without a numeric id: {line}"))?;
+        answered_ids.push(id);
+        if response.get("latency_micros").and_then(JsonValue::as_u64).is_none() {
+            return Err(format!("response without a latency stamp: {line}"));
+        }
+    }
+    if ok != expected {
+        return Err(format!("expected {expected} responses, got {ok}"));
+    }
+    let mut sorted = answered_ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != expected {
+        return Err(format!("expected {expected} distinct response ids, got {}", sorted.len()));
+    }
+
+    let cache = server.cache().stats();
+    // The burst holds four distinct systems: B1×2 paper, B2×2 paper,
+    // B1+B2 paper and B1×2 coarse. Replays must hit, never rebuild.
+    if cache.builds != 4 {
+        return Err(format!("expected 4 system builds (one per system), got {}", cache.builds));
+    }
+    if cache.hits == 0 {
+        return Err("expected process-wide cache hits on replayed requests".to_owned());
+    }
+
+    let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let throughput_rps = expected as f64 / elapsed_secs;
+    let snapshot = server.metrics().snapshot();
+    let bench_json = snapshot
+        .to_bench_json(throughput_rps, &cache)
+        .render()
+        .map_err(|error| format!("bench document rendering failed: {error}"))?;
+    Ok(SmokeSummary { requests: expected, ok, errors: 0, throughput_rps, cache, bench_json })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_burst_passes_its_invariants() {
+        let summary = run_smoke(&ServeConfig::default()).unwrap();
+        assert_eq!(summary.requests, REPEATS * BURST.len());
+        assert_eq!(summary.ok, summary.requests);
+        assert_eq!(summary.errors, 0);
+        assert!(summary.throughput_rps > 0.0);
+        assert_eq!(summary.cache.builds, 4);
+        assert!(summary.cache.hits >= summary.cache.builds);
+        assert!(summary.bench_json.contains("\"schema\":\"serve-bench-v1\""));
+    }
+}

@@ -1,0 +1,194 @@
+//! Protocol robustness for the serving loop.
+//!
+//! A connection is a hostile place: lines can be malformed, oversized,
+//! duplicated-key JSON, or valid JSON that is not a request. Every such
+//! line must get exactly one error response — with the parser's byte
+//! offset where one exists — and the server must keep answering the lines
+//! after it. Concurrent clients must each get their own responses, in
+//! their own request order, bit-identical to the batch engine.
+
+use engine::json::JsonValue;
+use engine::{
+    run_grid, BackendKind, BatterySpec, DiscSpec, FleetDef, LoadSpec, PolicyKind, Scenario,
+    ScenarioSpec,
+};
+use served::{ServeConfig, Server};
+use std::sync::Arc;
+use workload::paper_loads::TestLoad;
+
+/// Drives one in-memory connection and returns the response lines.
+fn converse(server: &Server, input: &str) -> Vec<JsonValue> {
+    let mut output = Vec::new();
+    server.serve_connection(input.as_bytes(), &mut output).expect("in-memory I/O cannot fail");
+    let text = String::from_utf8(output).expect("responses are UTF-8");
+    text.lines().map(|line| JsonValue::parse(line).expect("every response line parses")).collect()
+}
+
+fn status(response: &JsonValue) -> &str {
+    response.get("status").and_then(JsonValue::as_str).expect("responses carry a status")
+}
+
+fn code(response: &JsonValue) -> &str {
+    response.get("code").and_then(JsonValue::as_str).expect("error responses carry a code")
+}
+
+fn offset(response: &JsonValue) -> Option<u64> {
+    response.get("offset").and_then(JsonValue::as_u64)
+}
+
+#[test]
+fn malformed_lines_get_offset_errors_and_do_not_kill_the_connection() {
+    let server = Server::start(ServeConfig::default());
+    // The json_malformed.rs corpus cases, interleaved with a valid request
+    // that must still be answered after every piece of garbage.
+    let valid = r#"{"battery":"B1","count":2,"load":"CL 500","policy":"round-robin"}"#;
+    let garbage: [(&str, u64); 7] = [
+        (r#"{"a": 1"#, 7),           // truncated object
+        (r#"{"a":1,"a":2}"#, 7),     // duplicate key, reported at the second key
+        ("\"\\x\"", 2),              // bad string escape
+        ("1e999", 0),                // overflows the finite f64 range
+        ("{} x", 3),                 // trailing garbage
+        ("tru", 0),                  // truncated keyword
+        (r#"{"steps": 1e999}"#, 10), // nested overflow
+    ];
+    let mut input = String::new();
+    for (line, _) in &garbage {
+        input.push_str(line);
+        input.push('\n');
+        input.push_str(valid);
+        input.push('\n');
+    }
+    let responses = converse(&server, &input);
+    assert_eq!(responses.len(), 2 * garbage.len());
+    for (index, (line, expected_offset)) in garbage.iter().enumerate() {
+        let error = &responses[2 * index];
+        assert_eq!(status(error), "error", "for {line:?}");
+        assert_eq!(code(error), "parse", "for {line:?}");
+        assert_eq!(offset(error), Some(*expected_offset), "for {line:?}");
+        let ok = &responses[2 * index + 1];
+        assert_eq!(status(ok), "ok", "the valid request after {line:?} must still be answered");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn non_request_json_oversized_lines_and_admission_refusals_are_typed() {
+    let config =
+        ServeConfig { max_line_bytes: 256, interactive_budget: 1000, ..Default::default() };
+    let server = Server::start(config);
+
+    let valid = r#"{"battery":"B1","count":2,"load":"CL 500","policy":"round-robin"}"#;
+    let not_a_request = r#"{"battery":"B1","load":"CL 500","policy":"round-robin","frob":1}"#;
+    let oversized = format!("{{\"battery\":\"B1\",\"junk\":\"{}\"}}", "x".repeat(400));
+    let over_budget = r#"{"id":9,"battery":"B1","count":2,"disc":"coarse","load":"CL 500","policy":{"kind":"optimal","budget":999999}}"#;
+    let input = format!("{not_a_request}\n{oversized}\n{over_budget}\n{valid}\n");
+
+    let responses = converse(&server, &input);
+    assert_eq!(responses.len(), 4);
+    assert_eq!(status(&responses[0]), "error");
+    assert_eq!(code(&responses[0]), "bad_request");
+    assert_eq!(status(&responses[1]), "error");
+    assert_eq!(code(&responses[1]), "oversized");
+    assert_eq!(status(&responses[2]), "error");
+    assert_eq!(code(&responses[2]), "admission");
+    // Admission errors echo the id the request carried.
+    assert_eq!(responses[2].get("id").and_then(JsonValue::as_u64), Some(9));
+    assert_eq!(status(&responses[3]), "ok");
+    server.shutdown();
+}
+
+#[test]
+fn budget_exhaustion_is_answered_not_fatal() {
+    let server = Server::start(ServeConfig::default());
+    let input = concat!(
+        r#"{"class":"batch","battery":"B1","count":2,"disc":"coarse","load":"ILs alt","policy":{"kind":"optimal","budget":1}}"#,
+        "\n",
+        r#"{"battery":"B1","count":2,"load":"CL 500","policy":"round-robin"}"#,
+        "\n",
+    );
+    let responses = converse(&server, input);
+    assert_eq!(responses.len(), 2);
+    assert_eq!(status(&responses[0]), "error");
+    assert_eq!(code(&responses[0]), "budget");
+    assert_eq!(status(&responses[1]), "ok");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_their_own_answers_bit_identical_to_the_batch_engine() {
+    // The reference: a batch grid over loads × policies on 2 × B1.
+    let loads = [TestLoad::Cl500, TestLoad::Ils500, TestLoad::IlsAlt, TestLoad::Cl250];
+    let policies = [PolicyKind::Sequential, PolicyKind::RoundRobin, PolicyKind::BestOfTwo];
+    let spec = ScenarioSpec {
+        batteries: vec![BatterySpec::b1()],
+        battery_counts: vec![2],
+        fleets: vec![],
+        discretizations: vec![DiscSpec::paper()],
+        loads: loads.iter().map(|l| LoadSpec::Paper(*l)).collect(),
+        policies: policies.to_vec(),
+        backends: vec![BackendKind::Discretized],
+    };
+    let reference = run_grid(&spec).expect("the reference grid runs");
+
+    let server = Arc::new(Server::start(ServeConfig::default()));
+    let mut clients = Vec::new();
+    for client in 0..4 {
+        let server = Arc::clone(&server);
+        clients.push(std::thread::spawn(move || {
+            let mut input = String::new();
+            for (index, load) in loads.iter().enumerate() {
+                let policy = policies[(index + client) % policies.len()];
+                input.push_str(&format!(
+                    "{{\"id\":{index},\"battery\":\"B1\",\"count\":2,\"load\":\"{}\",\
+                     \"policy\":\"{}\"}}\n",
+                    load.name(),
+                    policy.name(),
+                ));
+            }
+            let mut output = Vec::new();
+            server
+                .serve_connection(input.as_bytes(), &mut output)
+                .expect("in-memory I/O cannot fail");
+            (client, String::from_utf8(output).expect("responses are UTF-8"))
+        }));
+    }
+    for handle in clients {
+        let (client, text) = handle.join().expect("client threads do not panic");
+        let responses: Vec<JsonValue> =
+            text.lines().map(|l| JsonValue::parse(l).expect("response parses")).collect();
+        assert_eq!(responses.len(), loads.len());
+        for (index, response) in responses.iter().enumerate() {
+            // Responses come back in request order: ids are the line index.
+            assert_eq!(
+                response.get("id").and_then(JsonValue::as_u64),
+                Some(index as u64),
+                "client {client} got responses out of order"
+            );
+            assert_eq!(status(response), "ok");
+            let policy = policies[(index + client) % policies.len()];
+            let scenario = Scenario {
+                fleet: FleetDef::uniform(BatterySpec::b1(), 2),
+                disc: DiscSpec::paper(),
+                load: LoadSpec::Paper(loads[index]),
+                policy,
+                backend: BackendKind::Discretized,
+            };
+            let expected = reference
+                .iter()
+                .find(|r| r.scenario == scenario)
+                .expect("every served cell exists in the reference grid");
+            let result = response.get("result").expect("ok responses carry a result row");
+            // Bit-identical: compare the exact JSON number encodings of the
+            // result row against the batch engine's rendering.
+            let expected_json = expected.to_json_value();
+            for field in ["lifetime_minutes", "residual_charge", "switches", "decisions"] {
+                assert_eq!(
+                    result.get(field).map(|v| v.render().unwrap()),
+                    expected_json.get(field).map(|v| v.render().unwrap()),
+                    "client {client} request {index}: field {field} diverges from the batch engine"
+                );
+            }
+        }
+    }
+    server.shutdown();
+}

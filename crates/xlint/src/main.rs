@@ -5,21 +5,24 @@
 //! cargo run -p xlint                      # lint, warn on escape hygiene
 //! cargo run -p xlint -- --deny-all        # escape-hygiene findings fail too
 //! cargo run -p xlint -- --stats-out BENCH_lint.json
+//! cargo run -p xlint -- --baseline BENCH_lint.json
 //! cargo run -p xlint -- --root /path/to/workspace
 //! ```
 //!
 //! Exit status is 1 when any rule violation remains (plus, under
-//! `--deny-all`, when any `xlint: allow` escape is malformed or unused),
-//! 0 otherwise.
+//! `--deny-all`, when any `xlint: allow` escape is malformed or unused,
+//! or when `--baseline` finds a rule with more counted allow escapes
+//! than the committed stats document), 0 otherwise.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use xlint::rules::RuleId;
-use xlint::walk::lint_workspace;
+use xlint::walk::{baseline_regressions, lint_workspace, parse_stats_allows};
 
 fn main() -> ExitCode {
     let mut deny_all = false;
     let mut stats_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
 
     let mut argv = std::env::args().skip(1);
@@ -29,6 +32,10 @@ fn main() -> ExitCode {
             "--stats-out" => match argv.next() {
                 Some(path) => stats_out = Some(PathBuf::from(path)),
                 None => return usage("--stats-out needs a path"),
+            },
+            "--baseline" => match argv.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => return usage("--baseline needs a path"),
             },
             "--root" => match argv.next() {
                 Some(path) => root = Some(PathBuf::from(path)),
@@ -42,6 +49,25 @@ fn main() -> ExitCode {
     // <root>/crates/xlint.
     let root =
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    // Load the committed baseline before anything is overwritten:
+    // `--stats-out` and `--baseline` may legitimately name the same file.
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match parse_stats_allows(&text) {
+                Some(allows) => Some(allows),
+                None => {
+                    eprintln!("xlint: {} is not an xlint-stats-v1 document", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) => {
+                eprintln!("xlint: failed to read baseline {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     let report = match lint_workspace(&root) {
         Ok(report) => report,
@@ -84,7 +110,20 @@ fn main() -> ExitCode {
         println!("xlint: stats written to {}", path.display());
     }
 
-    let failing = report.hard_violations() + if deny_all { report.hygiene_violations() } else { 0 };
+    let mut regressions = 0;
+    if let Some(baseline) = &baseline {
+        for regression in baseline_regressions(&report, baseline) {
+            println!("xlint: violation[baseline] {regression}");
+            regressions += 1;
+        }
+        if regressions == 0 {
+            println!("xlint: allow escapes match the committed baseline");
+        }
+    }
+
+    let failing = report.hard_violations()
+        + regressions
+        + if deny_all { report.hygiene_violations() } else { 0 };
     if failing > 0 {
         ExitCode::FAILURE
     } else {
@@ -94,6 +133,6 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("xlint: {problem}");
-    eprintln!("usage: xlint [--deny-all] [--stats-out FILE] [--root DIR]");
+    eprintln!("usage: xlint [--deny-all] [--stats-out FILE] [--baseline FILE] [--root DIR]");
     ExitCode::from(2)
 }

@@ -21,13 +21,17 @@ pub enum RuleId {
     Cast,
     /// (A) atomic `Ordering::` use without a `// ordering:` comment.
     Ordering,
+    /// (L) `std::env` read outside config load in a long-running crate.
+    Env,
+    /// (L) blocking file I/O in a long-running crate's request paths.
+    BlockingIo,
     /// Escape hygiene: a malformed or no-longer-needed `xlint: allow`.
     Escape,
 }
 
 impl RuleId {
     /// Every rule, in reporting order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::Hash,
         RuleId::Clock,
         RuleId::FloatEq,
@@ -35,6 +39,8 @@ impl RuleId {
         RuleId::Panic,
         RuleId::Cast,
         RuleId::Ordering,
+        RuleId::Env,
+        RuleId::BlockingIo,
         RuleId::Escape,
     ];
 
@@ -49,6 +55,8 @@ impl RuleId {
             RuleId::Panic => "panic",
             RuleId::Cast => "cast",
             RuleId::Ordering => "ordering",
+            RuleId::Env => "env",
+            RuleId::BlockingIo => "blocking-io",
             RuleId::Escape => "escape",
         }
     }
@@ -74,6 +82,10 @@ pub struct CrateContext {
     pub panic_free: bool,
     /// Cast-audit rule (`cast`).
     pub cast_audit: bool,
+    /// Long-running-process rules: `env`, `blocking-io` (scoped to the
+    /// serving stack; `config.rs` files are exempt — that is where the
+    /// environment is allowed to be read, once, at startup).
+    pub long_running: bool,
 }
 
 impl CrateContext {
@@ -122,6 +134,8 @@ pub struct FileReport {
 const INT_TYPES: [&str; 12] =
     ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
 const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const ENV_READS: [&str; 6] = ["var", "vars", "var_os", "vars_os", "args", "args_os"];
+const FILE_OPENS: [&str; 4] = ["open", "create", "create_new", "options"];
 
 /// A parsed `xlint: allow(<rule>) -- <reason>` escape.
 #[derive(Debug)]
@@ -411,6 +425,47 @@ fn detect(
             });
         }
 
+        // (L) env: process-environment reads outside config load.
+        if ctx.long_running
+            && !in_test
+            && t.is_ident("env")
+            && ts.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && ts.get(i + 2).is_some_and(|n| ENV_READS.contains(&n.text.as_str()))
+        {
+            raw.push(Finding {
+                rule: RuleId::Env,
+                line: t.line,
+                message: format!(
+                    "`env::{}` in a long-running crate: read the environment once in \
+                     config load and pass an explicit config value down",
+                    ts[i + 2].text
+                ),
+            });
+        }
+
+        // (L) blocking-io: filesystem calls in serving code.
+        if ctx.long_running && !in_test {
+            let fs_call = t.is_ident("fs")
+                && ts.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && ts.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident);
+            let file_call = t.is_ident("File")
+                && ts.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && ts.get(i + 2).is_some_and(|n| FILE_OPENS.contains(&n.text.as_str()));
+            if fs_call || file_call {
+                raw.push(Finding {
+                    rule: RuleId::BlockingIo,
+                    line: t.line,
+                    message: format!(
+                        "`{}::{}` in a long-running crate: blocking file I/O does not \
+                         belong in request paths; move it to startup/exit or escape a \
+                         one-shot site",
+                        t.text,
+                        ts[i + 2].text
+                    ),
+                });
+            }
+        }
+
         // (A) atomics audit: always on, tests included.
         if t.is_ident("Ordering")
             && ts.get(i + 1).is_some_and(|n| n.is_punct("::"))
@@ -446,7 +501,7 @@ mod tests {
     use super::*;
 
     fn full() -> CrateContext {
-        CrateContext { deterministic: true, panic_free: true, cast_audit: true }
+        CrateContext { deterministic: true, panic_free: true, cast_audit: true, long_running: true }
     }
 
     fn rules_of(report: &FileReport) -> Vec<RuleId> {
@@ -590,6 +645,27 @@ mod tests {
         ";
         let report = lint_source(src, full());
         assert_eq!(rules_of(&report), vec![RuleId::Hash, RuleId::Clock]);
+    }
+
+    #[test]
+    fn env_and_blocking_io_fire_only_in_long_running_crates() {
+        let src = "
+            fn f() -> Option<String> { std::env::var(\"HOME\").ok() }
+            fn g() { let _ = std::fs::read_to_string(\"state.json\"); }
+            fn h() { let _ = std::fs::File::open(\"x\"); }
+        ";
+        let report = lint_source(src, full());
+        assert_eq!(
+            rules_of(&report),
+            vec![RuleId::Env, RuleId::BlockingIo, RuleId::BlockingIo, RuleId::BlockingIo]
+        );
+        // Outside the long-running scope neither rule applies.
+        let quiet = lint_source(src, CrateContext { long_running: false, ..full() });
+        assert!(quiet.findings.is_empty(), "{:?}", quiet.findings);
+        // The compile-time env!() macro is not an environment read.
+        let macro_use =
+            lint_source("fn f() -> &'static str { env!(\"CARGO_MANIFEST_DIR\") }", full());
+        assert!(macro_use.findings.is_empty(), "{:?}", macro_use.findings);
     }
 
     #[test]

@@ -97,10 +97,26 @@ impl Report {
 pub fn context_for_crate(name: &str) -> CrateContext {
     match name {
         "bench" | "xlint" => CrateContext::aux(),
-        "kibam" | "dkibam" | "rv" | "core" | "relax" => {
-            CrateContext { deterministic: true, panic_free: true, cast_audit: true }
-        }
-        _ => CrateContext { deterministic: true, panic_free: true, cast_audit: false },
+        "kibam" | "dkibam" | "rv" | "core" | "relax" => CrateContext {
+            deterministic: true,
+            panic_free: true,
+            cast_audit: true,
+            long_running: false,
+        },
+        // The serving stack: worker loops here must not read the process
+        // environment or do blocking file I/O per request.
+        "engine" | "served" => CrateContext {
+            deterministic: true,
+            panic_free: true,
+            cast_audit: false,
+            long_running: true,
+        },
+        _ => CrateContext {
+            deterministic: true,
+            panic_free: true,
+            cast_audit: false,
+            long_running: false,
+        },
     }
 }
 
@@ -138,6 +154,12 @@ fn lint_files(
     for path in files {
         let source = fs::read_to_string(path)?;
         let label = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        // `config.rs` is where a long-running crate is allowed to read the
+        // environment and load files: startup only, by construction.
+        let mut ctx = ctx;
+        if path.file_name().is_some_and(|name| name == "config.rs") {
+            ctx.long_running = false;
+        }
         let file_report = lint_source(&source, ctx);
         report.files_scanned += 1;
         report.ordering_documented += file_report.ordering_documented;
@@ -179,4 +201,58 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         lint_files(root, &aux_files, CrateContext::aux(), &mut report)?;
     }
     Ok(report)
+}
+
+/// Extracts the per-rule `allows` counts from a committed
+/// `xlint-stats-v1` document (the `BENCH_lint.json` baseline). The parser
+/// leans on the renderer's fixed line shape — `"<rule>": {"violations":
+/// N, "allows": M}` — rather than a general JSON reader; the linter has
+/// no dependencies, and [`Report::stats_json`] is the only producer.
+///
+/// Returns `None` when the document is not an `xlint-stats-v1` report or
+/// carries no rules object.
+#[must_use]
+pub fn parse_stats_allows(json: &str) -> Option<BTreeMap<String, usize>> {
+    if !json.contains("\"schema\": \"xlint-stats-v1\"") {
+        return None;
+    }
+    let mut allows = BTreeMap::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((rule, rest)) = rest.split_once('"') else { continue };
+        let Some(at) = rest.find("\"allows\": ") else { continue };
+        let digits: String =
+            rest[at + "\"allows\": ".len()..].chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(count) = digits.parse::<usize>() {
+            allows.insert(rule.to_owned(), count);
+        }
+    }
+    if allows.is_empty() {
+        None
+    } else {
+        Some(allows)
+    }
+}
+
+/// Compares a fresh report's per-rule `allows` counts against the
+/// committed baseline. Any rule with more counted escapes than the
+/// baseline is a regression: a new `xlint: allow` must land with a
+/// regenerated `BENCH_lint.json`, so the diff shows up in review like a
+/// bench regression would. Rules absent from the baseline count as 0.
+#[must_use]
+pub fn baseline_regressions(report: &Report, baseline: &BTreeMap<String, usize>) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for (rule, stats) in report.per_rule() {
+        let allowed = baseline.get(rule.name()).copied().unwrap_or(0);
+        if stats.allows > allowed {
+            regressions.push(format!(
+                "rule `{}` has {} allow escape(s), baseline permits {allowed}: \
+                 justify the new escape and regenerate the baseline with --stats-out",
+                rule.name(),
+                stats.allows
+            ));
+        }
+    }
+    regressions
 }

@@ -42,5 +42,13 @@ fn undocumented_atomic(cursor: &AtomicUsize) -> usize {
     cursor.fetch_add(1, Ordering::Relaxed)
 }
 
+fn reads_environment() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+
+fn blocking_io_in_worker() -> std::io::Result<String> {
+    std::fs::read_to_string("state.json")
+}
+
 // xlint: allow(hash) -- stale escape: suppresses nothing, must be flagged
 fn clean() {}

@@ -3,12 +3,12 @@
 
 use std::path::PathBuf;
 use xlint::rules::{lint_source, CrateContext, RuleId};
-use xlint::walk::{context_for_crate, lint_workspace};
+use xlint::walk::{baseline_regressions, context_for_crate, lint_workspace, parse_stats_allows};
 
 const FIXTURE: &str = include_str!("fixtures/bad.rs");
 
 fn full() -> CrateContext {
-    CrateContext { deterministic: true, panic_free: true, cast_audit: true }
+    CrateContext { deterministic: true, panic_free: true, cast_audit: true, long_running: true }
 }
 
 #[test]
@@ -32,7 +32,15 @@ fn fixture_is_quiet_outside_its_scopes() {
     let fired: Vec<RuleId> = report.findings.iter().map(|f| f.rule).collect();
     assert!(fired.contains(&RuleId::PartialCmp));
     assert!(fired.contains(&RuleId::Ordering));
-    for banned in [RuleId::Hash, RuleId::Clock, RuleId::FloatEq, RuleId::Panic, RuleId::Cast] {
+    for banned in [
+        RuleId::Hash,
+        RuleId::Clock,
+        RuleId::FloatEq,
+        RuleId::Panic,
+        RuleId::Cast,
+        RuleId::Env,
+        RuleId::BlockingIo,
+    ] {
         assert!(!fired.contains(&banned), "`{banned}` fired under aux context");
     }
 }
@@ -42,14 +50,23 @@ fn crate_classification_matches_the_rule_table() {
     for name in ["kibam", "dkibam", "rv", "core"] {
         let ctx = context_for_crate(name);
         assert!(ctx.deterministic && ctx.panic_free && ctx.cast_audit, "{name}");
+        assert!(!ctx.long_running, "{name}");
     }
-    for name in ["engine", "workload", "pta", "served-someday"] {
+    // The serving stack carries the long-running-process rules on top.
+    for name in ["engine", "served"] {
         let ctx = context_for_crate(name);
         assert!(ctx.deterministic && ctx.panic_free && !ctx.cast_audit, "{name}");
+        assert!(ctx.long_running, "{name}");
+    }
+    for name in ["workload", "pta", "some-future-crate"] {
+        let ctx = context_for_crate(name);
+        assert!(ctx.deterministic && ctx.panic_free && !ctx.cast_audit, "{name}");
+        assert!(!ctx.long_running, "{name}");
     }
     for name in ["bench", "xlint"] {
         let ctx = context_for_crate(name);
         assert!(!ctx.deterministic && !ctx.panic_free && !ctx.cast_audit, "{name}");
+        assert!(!ctx.long_running, "{name}");
     }
 }
 
@@ -87,4 +104,28 @@ fn stats_json_is_well_formed() {
     let opens = json.matches('{').count();
     let closes = json.matches('}').count();
     assert_eq!(opens, closes);
+}
+
+#[test]
+fn baseline_diff_catches_new_allow_escapes() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root).expect("workspace walk");
+    // The report's own stats round-trip as a baseline with no regressions.
+    let baseline = parse_stats_allows(&report.stats_json()).expect("stats parse as a baseline");
+    assert!(baseline_regressions(&report, &baseline).is_empty());
+    // Dropping one rule's count from the baseline makes that rule regress.
+    let inflated: Vec<(String, usize)> = baseline
+        .iter()
+        .filter(|(_, count)| **count > 0)
+        .map(|(rule, count)| (rule.clone(), count - 1))
+        .collect();
+    assert!(!inflated.is_empty(), "the workspace should carry at least one counted escape");
+    let mut tightened = baseline.clone();
+    for (rule, count) in &inflated {
+        tightened.insert(rule.clone(), *count);
+    }
+    let regressions = baseline_regressions(&report, &tightened);
+    assert_eq!(regressions.len(), inflated.len(), "{regressions:?}");
+    // A non-stats document is rejected rather than treated as all-zeros.
+    assert!(parse_stats_allows("{\"schema\": \"serve-bench-v1\"}").is_none());
 }
